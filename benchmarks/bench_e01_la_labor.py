@@ -1,0 +1,43 @@
+"""E1 — §1: replacing LA's deployment takes ~200,000 person-hours.
+
+Regenerates the paper's arithmetic over its published asset counts
+(320,000 utility poles + 61,315 intersections + 210,000 streetlights at
+a "very generous" 20 minutes per device), then extends it: the dollar
+cost of the same fleet replacement, and the staffing implied by a
+10-year replacement campaign.
+"""
+
+from repro.analysis.report import PaperComparison
+from repro.city import los_angeles
+from repro.econ import CostParameters
+from repro.reliability import fleet_replacement_hours
+
+from conftest import emit
+
+
+def compute_la_labor():
+    city = los_angeles()
+    hours = city.replacement_person_hours(minutes_per_device=20.0)
+    costs = CostParameters()
+    dollars = costs.fleet_replacement_usd(city.total_sensors())
+    # A 10-year rolling replacement campaign at 1,800 h/tech-year:
+    techs_for_decade = hours / (10 * 1800.0)
+    return hours, dollars, techs_for_decade, city.total_sensors()
+
+
+def test_e01_la_replacement_labor(benchmark):
+    hours, dollars, techs, assets = benchmark(compute_la_labor)
+    holds = 190_000 < hours < 200_000
+    emit([
+        PaperComparison(
+            experiment="E1",
+            claim="LA fleet replacement labor (poles+intersections+lights @ 20 min)",
+            paper_value="nearly 200,000 person-hours",
+            measured_value=f"{hours:,.0f} person-hours over {assets:,} assets",
+            holds=holds,
+        ),
+        f"extension: all-in replacement cost ${dollars/1e6:,.1f} M; "
+        f"a 10-year campaign needs ~{techs:.0f} full-time technicians",
+    ])
+    assert holds
+    assert fleet_replacement_hours(assets) == hours

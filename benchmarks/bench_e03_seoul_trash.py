@@ -1,0 +1,38 @@
+"""E3 — §2: Seoul's smart bins cut overflow 66% and collection cost 83%.
+
+Rebuilds the mechanism (heterogeneous bin fill + fixed-schedule baseline
+vs sensor-dispatched compacting bins) and checks both reductions land in
+the paper's neighbourhood.
+"""
+
+from repro.analysis.report import PaperComparison
+from repro.city import BinFleetConfig, compare_policies
+
+from conftest import emit
+
+
+def compute_seoul():
+    return compare_policies(
+        BinFleetConfig(n_bins=400), seed=2021, horizon_days=90.0
+    )
+
+
+def test_e03_seoul_trash(benchmark):
+    comparison = benchmark.pedantic(compute_seoul, rounds=1, iterations=1)
+    holds = comparison.shape_holds(tolerance=0.25)
+    emit([
+        PaperComparison(
+            experiment="E3",
+            claim="sensor-driven waste collection vs fixed schedule (Seoul)",
+            paper_value="overflow -66%, collection cost -83%",
+            measured_value=(
+                f"overflow -{comparison.overflow_reduction:.0%}, "
+                f"cost -{comparison.cost_reduction:.0%}"
+            ),
+            holds=holds,
+            note="sensor dispatch at 85% of 3x-compacted capacity, 24h response",
+        ),
+    ])
+    assert holds
+    assert comparison.overflow_reduction > 0.4
+    assert comparison.cost_reduction > 0.6

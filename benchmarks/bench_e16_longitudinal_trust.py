@@ -1,0 +1,75 @@
+"""E16 — §4.1: "limited longitudinal trust, as their security and
+signing techniques can never be modified."
+
+A fleet of immutable transmit-only devices ages against cryptoperiods,
+scheme breaks, and slow key leakage.  The measured quantity is the
+*trust lifetime* — how long the backend can fully trust a majority of
+the fleet — set against the E10 hardware lifetimes: for harvesting
+devices, trust, not hardware, becomes the binding constraint.
+"""
+
+import numpy as np
+
+from repro.analysis.report import PaperComparison
+from repro.core import units
+from repro.net import SCHEMES, TrustPolicy, TrustRegistry, trust_horizon
+from repro.reliability import energy_harvesting_device, mean_lifetime_years
+
+from conftest import emit
+
+
+def compute_trust(rng):
+    fleet = 400
+    horizons = {}
+    census_rows = {}
+    for scheme_name in sorted(SCHEMES):
+        registry = TrustRegistry(
+            policy=TrustPolicy(key_leak_rate_per_year=0.002),
+            rng=np.random.default_rng(11),
+        )
+        for index in range(fleet):
+            registry.commission(f"{scheme_name}-{index}", scheme_name, at=0.0)
+        horizons[scheme_name] = units.as_years(
+            trust_horizon(registry, horizon=units.years(60.0))
+        )
+        census = registry.census(units.years(50.0))
+        census_rows[scheme_name] = {
+            level.value: count / fleet for level, count in census.items()
+        }
+    hardware_years = mean_lifetime_years(energy_harvesting_device())
+    return horizons, census_rows, hardware_years
+
+
+def test_e16_longitudinal_trust(benchmark, rng):
+    horizons, census_rows, hardware_years = benchmark.pedantic(
+        compute_trust, rounds=1, iterations=1, args=(rng,)
+    )
+    # Shape: every immutable scheme's trust horizon falls short of the
+    # harvesting hardware's mean lifetime.
+    holds = all(h < hardware_years for h in horizons.values())
+    rows = [
+        PaperComparison(
+            experiment="E16",
+            claim="immutable signing limits longitudinal trust below hardware life",
+            paper_value="qualitative (§4.1)",
+            measured_value=(
+                f"trust horizons {min(horizons.values()):.0f}-"
+                f"{max(horizons.values()):.0f} yr vs {hardware_years:.0f}-yr "
+                f"harvesting hardware mean"
+            ),
+            holds=holds,
+        ),
+    ]
+    for scheme_name, horizon in sorted(horizons.items()):
+        at_50 = census_rows[scheme_name]
+        rows.append(
+            f"{scheme_name:<14} trust horizon {horizon:4.0f} yr; at year 50: "
+            f"{at_50['trusted']:.0%} trusted / {at_50['degraded']:.0%} degraded "
+            f"/ {at_50['untrusted']:.0%} untrusted"
+        )
+    emit(rows)
+    assert holds
+    # Cryptoperiod drives the horizon: schemes' horizons track their
+    # configured cryptoperiods.
+    for scheme_name, horizon in horizons.items():
+        assert horizon <= SCHEMES[scheme_name].cryptoperiod_years + 2.0

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eNN_*.py`` regenerates one of the paper's quantitative
+claims (see DESIGN.md's per-experiment index).  Benchmarks print their
+paper-vs-measured rows via :func:`emit` so ``pytest benchmarks/
+--benchmark-only -s`` produces the EXPERIMENTS.md tables, and each
+asserts its shape criterion so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import PaperComparison
+
+
+def emit(rows) -> None:
+    """Print paper-vs-measured rows beneath the benchmark output."""
+    print()
+    for row in rows:
+        if isinstance(row, PaperComparison):
+            print(f"  [{row.experiment}] {row.claim}")
+            print(f"      paper:    {row.paper_value}")
+            print(f"      measured: {row.measured_value}"
+                  f"  ({'HOLDS' if row.holds else 'DIFFERS'})")
+            if row.note:
+                print(f"      note: {row.note}")
+        else:
+            print(f"  {row}")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for benchmark sampling."""
+    return np.random.default_rng(2021)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Backhaul economics: fiber vs cellular, tipping points, and prepaid data.
+
+Reproduces the paper's §3.3/§3.4/§4.4 economic arguments as three
+tables: the 50-year TCO race (with the trench-sharing lever), the
+vertical-integration tipping point under compliant vs locked-in
+policies, and the data-credit arithmetic for prepaid transport.
+
+Run:  python examples/backhaul_economics.py
+"""
+
+from repro.core.policy import DeploymentPolicy
+from repro.econ import (
+    CellularCosts,
+    FiberCosts,
+    TippingPointAnalysis,
+    cost_per_device_per_year,
+    crossover_year,
+    fleet_prepay_usd,
+    paper_prepay_quote,
+    tco_series,
+)
+
+
+def tco_table() -> None:
+    gateways = 100
+    print(f"cumulative backhaul TCO for {gateways} gateways ($M)")
+    print(f"{'year':>6} {'fiber':>8} {'cellular':>9}  leader")
+    for point in tco_series(gateways, horizon_years=50.0, step_years=10.0):
+        leader = "fiber" if point.fiber_wins else "cellular"
+        print(f"{point.years:>6.0f} {point.fiber_usd/1e6:>8.2f} "
+              f"{point.cellular_usd/1e6:>9.2f}  {leader}")
+    print()
+    scenarios = {
+        "coordinated digs (default)": FiberCosts(),
+        "full greenfield trench": FiberCosts(km_per_gateway=0.8, trench_share=1.0),
+        "aggressive sharing (25%)": FiberCosts(trench_share=0.25),
+    }
+    for label, fiber in scenarios.items():
+        year = crossover_year(gateways, fiber=fiber)
+        rendered = "never" if year == float("inf") else f"year {year:.1f}"
+        print(f"  crossover [{label}]: {rendered}")
+
+
+def tipping_table() -> None:
+    print()
+    print("the §3.4 tipping point: replace the fleet vs own the infrastructure")
+    analysis = TippingPointAnalysis()
+    policies = {
+        "takeaway-compliant": DeploymentPolicy.takeaway_compliant(),
+        "vendor-locked": DeploymentPolicy.worst_practice(),
+    }
+    for label, policy in policies.items():
+        tipping = analysis.tipping_point(policy)
+        if tipping > 2_000_000:
+            print(f"  {label:<20} owning never wins (devices cannot re-home)")
+        else:
+            print(f"  {label:<20} owning wins from {tipping:,} devices")
+    print()
+    print(f"{'fleet':>10} {'replace $M':>11} {'own $M':>8}  decision")
+    policy = DeploymentPolicy.takeaway_compliant()
+    for fleet in (1_000, 10_000, 100_000, 1_000_000):
+        decision = analysis.decision(fleet, policy)
+        print(f"{fleet:>10,} {decision.replace_usd/1e6:>11.2f} "
+              f"{decision.own_usd/1e6:>8.2f}  "
+              f"{'OWN' if decision.should_own else 'replace'}")
+
+
+def credits_table() -> None:
+    print()
+    print("prepaid transport (§4.4)")
+    quote = paper_prepay_quote()
+    print(f"  one device, hourly 24-byte packets, 50 years: "
+          f"{quote.credits_needed:,} credits needed")
+    print(f"  provisioned: {quote.credits_provisioned:,} credits "
+          f"= ${quote.cost_usd:.2f} (margin {quote.margin_fraction:.0%})")
+    print(f"  steady state: ${cost_per_device_per_year():.3f} per device-year")
+    for fleet in (100, 10_000, 1_000_000):
+        print(f"  prepay a {fleet:>9,}-device fleet for 50 years: "
+              f"${fleet_prepay_usd(fleet):>12,.0f}")
+
+
+def main() -> None:
+    tco_table()
+    tipping_table()
+    credits_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""City-scale rollout planning: instrumenting Los Angeles.
+
+Takes the paper's §1 asset inventory (320k poles, 61,315 intersections,
+210k streetlights), builds geographic-batch rollout plans riding each
+asset's own maintenance cycle, and contrasts the Ship-of-Theseus
+pipelined fleet against a one-shot en-masse deployment over a century.
+
+Run:  python examples/city_scale_rollout.py
+"""
+
+import numpy as np
+
+from repro.city import city_rollout, los_angeles
+from repro.core import en_masse_fleet, summarize, units
+from repro.econ import CostParameters
+from repro.reliability import battery_powered_device, energy_harvesting_device
+
+
+def main() -> None:
+    city = los_angeles()
+    print(f"{city.name}: {city.total_assets():,} instrumentable assets")
+    print(f"one-shot fleet replacement: "
+          f"{city.replacement_person_hours():,.0f} person-hours "
+          f"(the paper's ~200,000-hour figure)")
+    print()
+
+    rng = np.random.default_rng(7)
+    costs = CostParameters()
+    horizon = units.years(100.0)
+    model = energy_harvesting_device()
+    sampler = lambda n: model.sample(rng, n)
+
+    print(f"{'asset class':<16} {'fleet':>9} {'cycle':>6} {'touch/yr':>9} "
+          f"{'annual $M':>10} {'100-yr system'}")
+    for plan in city_rollout(city, instrumented_fraction=0.05, batches=24):
+        # 5 % instrumentation keeps the demo fast; scale linearly.
+        timeline = plan.timeline(sampler, horizon)
+        row = summarize(plan.asset.name, timeline, horizon, step=units.years(1.0))
+        survives = "outlives study" if row.system_lifetime_years >= 100.0 else (
+            f"dies at {row.system_lifetime_years:.0f} yr"
+        )
+        print(
+            f"{plan.asset.name:<16} {plan.fleet_size:>9,} "
+            f"{plan.project_cycle_years:>5.0f}y {plan.annual_touch_rate():>9,.0f} "
+            f"{plan.annual_cost_usd(costs)/1e6:>10.2f} {survives} "
+            f"(coverage {row.mean_coverage:.0%})"
+        )
+
+    print()
+    print("counterfactual: deploy the same sensors once and walk away")
+    for label, model in (
+        ("battery devices", battery_powered_device()),
+        ("harvesting devices", energy_harvesting_device()),
+    ):
+        sampler = lambda n, m=model: m.sample(rng, n)
+        fleet = en_masse_fleet(3000, sampler)
+        row = summarize(label, fleet, horizon, step=units.years(1.0))
+        print(f"  en-masse {label:<20} system dies at "
+              f"{row.system_lifetime_years:5.1f} yr")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Energy viability: which harvesters sustain which reporting schedules?
+
+For each ambient source (cathodic-protection "ambient battery", solar,
+vibration, thermal) and each radio (802.15.4, LoRa SF7/SF10/SF12),
+computes the energy budget: mean harvest vs demand at hourly reporting,
+the fastest sustainable interval, and the storage needed to ride out a
+three-day harvest outage.  This is the §4.1 design-point exploration.
+
+Run:  python examples/energy_viability.py
+"""
+
+from repro.core import units
+from repro.energy import (
+    TaskProfile,
+    budget_report,
+    source_by_name,
+    storage_for_outage,
+)
+from repro.radio import LoRaParameters, ieee802154
+
+RADIOS = {
+    "802.15.4": ieee802154.airtime_s(24),
+    "lora-sf7": LoRaParameters(spreading_factor=7).airtime_s(24),
+    "lora-sf10": LoRaParameters(spreading_factor=10).airtime_s(24),
+    "lora-sf12": LoRaParameters(spreading_factor=12).airtime_s(24),
+}
+
+SOURCES = ("cathodic", "solar", "vibration", "thermal")
+
+
+def main() -> None:
+    profile = TaskProfile()
+    print(f"{'source':<10} {'radio':<10} {'harvest µW':>11} {'demand µW':>10} "
+          f"{'min interval':>13} {'3-day store':>12}  hourly?")
+    for source_name in SOURCES:
+        source = source_by_name(source_name)
+        for radio_name, airtime in RADIOS.items():
+            report = budget_report(source_name, source, profile, airtime)
+            interval = report.sustainable_interval_s
+            rendered = (
+                "infeasible" if interval == float("inf")
+                else units.format_duration(interval)
+            )
+            storage = storage_for_outage(profile, units.HOUR, airtime)
+            print(
+                f"{source_name:<10} {radio_name:<10} {report.harvest_uw:>11.1f} "
+                f"{report.demand_uw:>10.2f} {rendered:>13} {storage:>10.2f} J"
+                f"  {'yes' if report.neutral_at_hourly else 'NO'}"
+            )
+        print()
+
+    print("takeaway: every source sustains the paper's hourly schedule with")
+    print("margin; the binding constraints are radio airtime (SF12 costs")
+    print("~100x an 802.15.4 frame) and storage sizing for harvest gaps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Analysis: AS concentration, uptime, metrics, diary/report rendering."""
+
+from .asn import (
+    NAMED_ISPS,
+    PAPER_GATEWAY_COUNT,
+    PAPER_TOP10_SHARE,
+    PAPER_UNIQUE_ASES,
+    ConcentrationReport,
+    calibrate_exponent,
+    concentration,
+    survival_correlation_groups,
+    synthesize_assignments,
+    zipf_mandelbrot_weights,
+)
+from .export import (
+    coverage_series,
+    export_all_figures,
+    survival_series,
+    sweep_series,
+    tco_series_rows,
+    write_csv,
+)
+from .metrics import FactorComparison, Summary, first_crossing, summarize_samples
+from .report import (
+    DiaryEntry,
+    ExperimentDiary,
+    PaperComparison,
+    comparison_table,
+)
+from .risk import (
+    CorrelatedFailureResult,
+    SinglePointOfFailure,
+    correlated_failure,
+    dependency_graph,
+    redundancy_histogram,
+    single_points_of_failure,
+    worst_domains,
+)
+from .uptime import (
+    MonteCarloUptime,
+    entity_availability,
+    interval_coverage,
+    longest_gap,
+)
+
+__all__ = [
+    "NAMED_ISPS",
+    "PAPER_GATEWAY_COUNT",
+    "PAPER_TOP10_SHARE",
+    "PAPER_UNIQUE_ASES",
+    "ConcentrationReport",
+    "calibrate_exponent",
+    "concentration",
+    "survival_correlation_groups",
+    "synthesize_assignments",
+    "zipf_mandelbrot_weights",
+    "coverage_series",
+    "export_all_figures",
+    "survival_series",
+    "sweep_series",
+    "tco_series_rows",
+    "write_csv",
+    "FactorComparison",
+    "Summary",
+    "first_crossing",
+    "summarize_samples",
+    "DiaryEntry",
+    "ExperimentDiary",
+    "PaperComparison",
+    "comparison_table",
+    "CorrelatedFailureResult",
+    "SinglePointOfFailure",
+    "correlated_failure",
+    "dependency_graph",
+    "redundancy_histogram",
+    "single_points_of_failure",
+    "worst_domains",
+    "MonteCarloUptime",
+    "entity_availability",
+    "interval_coverage",
+    "longest_gap",
+]

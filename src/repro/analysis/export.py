@@ -1,0 +1,156 @@
+"""CSV export of the figure-grade data series.
+
+The benchmarks print table rows; dashboards and plots want the full
+series.  Each ``*_series`` function returns ``(header, rows)`` ready for
+:func:`write_csv`, covering the library's figure-shaped outputs:
+coverage-over-time (Ship of Theseus), cumulative TCO, survival curves,
+and generic sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core import units
+from ..core.lifetime import FleetTimeline
+from ..reliability.survival import SurvivalCurve
+
+Header = Sequence[str]
+Rows = List[Sequence[float]]
+
+
+def write_csv(path, header: Header, rows: Iterable[Sequence]) -> Path:
+    """Write one series to ``path``; returns the resolved path."""
+    path = Path(path)
+    if not header:
+        raise ValueError("header must be non-empty")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            if len(row) != len(header):
+                raise ValueError(
+                    f"row width {len(row)} != header width {len(header)}"
+                )
+            writer.writerow(row)
+    return path
+
+
+def coverage_series(
+    timeline: FleetTimeline, horizon: float, step: float = units.YEAR
+) -> Tuple[Header, Rows]:
+    """(years, coverage) for one fleet timeline — the E11 figure."""
+    times, coverage = timeline.coverage_series(horizon, step)
+    rows = [
+        (round(units.as_years(float(t)), 4), round(float(c), 6))
+        for t, c in zip(times, coverage)
+    ]
+    return ("years", "coverage"), rows
+
+
+def survival_series(curve: SurvivalCurve, time_unit: float = units.YEAR) -> Tuple[Header, Rows]:
+    """(time, survival) step points — the E10 figure."""
+    rows = [(0.0, 1.0)]
+    for t, s in zip(curve.times, curve.survival):
+        rows.append((round(float(t) / time_unit, 6), round(float(s), 6)))
+    return ("time", "survival"), rows
+
+
+def tco_series_rows(points) -> Tuple[Header, Rows]:
+    """(years, fiber, cellular) from :func:`repro.econ.tco_series` — E5."""
+    rows = [
+        (point.years, round(point.fiber_usd, 2), round(point.cellular_usd, 2))
+        for point in points
+    ]
+    return ("years", "fiber_usd", "cellular_usd"), rows
+
+
+def sweep_series(
+    xs: Sequence[float], ys: Sequence[float], x_name: str, y_name: str
+) -> Tuple[Header, Rows]:
+    """A generic two-column sweep (density, error; devices, delivery; ...)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must share length")
+    return (x_name, y_name), [(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def export_all_figures(out_dir, seed: int = 2021) -> List[Path]:
+    """Regenerate every figure-grade series into ``out_dir`` as CSVs.
+
+    One file per figure: E5 TCO curves, E10 survival curves, E11
+    coverage timelines, E14 error-vs-spacing, E15 delivery-vs-density.
+    """
+    import numpy as np
+
+    from ..city.airquality import PollutionFieldConfig, density_study
+    from ..core.lifetime import en_masse_fleet, pipelined_fleet
+    from ..econ.backhaul_tco import tco_series
+    from ..radio import LoRaParameters, density_sweep
+    from ..reliability.components import (
+        battery_powered_device,
+        energy_harvesting_device,
+    )
+    from ..reliability.survival import kaplan_meier
+
+    out_dir = Path(out_dir)
+    rng = np.random.default_rng(seed)
+    written: List[Path] = []
+
+    # E5 — TCO curves.
+    header, rows = tco_series_rows(tco_series(100, horizon_years=50.0))
+    written.append(write_csv(out_dir / "e05_tco.csv", header, rows))
+
+    # E10 — survival curves for both archetypes.
+    window = units.years(50.0)
+    for label, model in (
+        ("battery", battery_powered_device()),
+        ("harvesting", energy_harvesting_device()),
+    ):
+        lifetimes = model.sample(rng, 4000)
+        curve = kaplan_meier(lifetimes.clip(max=window), lifetimes <= window)
+        header, rows = survival_series(curve)
+        written.append(write_csv(out_dir / f"e10_survival_{label}.csv", header, rows))
+
+    # E11 — coverage timelines.
+    battery = battery_powered_device()
+    sampler = lambda n: battery.sample(rng, n)
+    horizon = units.years(100.0)
+    for label, timeline in (
+        (
+            "pipelined",
+            pipelined_fleet(600, sampler, units.years(8.0), horizon, batches=12),
+        ),
+        ("en_masse", en_masse_fleet(600, sampler)),
+    ):
+        header, rows = coverage_series(timeline, horizon)
+        written.append(write_csv(out_dir / f"e11_coverage_{label}.csv", header, rows))
+
+    # E14 — reconstruction error vs sensor spacing.
+    config = PollutionFieldConfig(extent_m=6_000.0)
+    results = density_study(config, [100.0, 200.0, 400.0, 800.0, 1600.0], rng)
+    header, rows = sweep_series(
+        [r.spacing_m for r in results],
+        [r.normalized_rmse for r in results],
+        "spacing_m",
+        "normalized_rmse",
+    )
+    written.append(write_csv(out_dir / "e14_air_quality.csv", header, rows))
+
+    # E15 — delivery vs density for LoRa SF10.
+    sweep = density_sweep(
+        LoRaParameters(spreading_factor=10).airtime_s(24),
+        units.HOUR,
+        (10, 50, 100, 500, 1000, 5000, 20000),
+    )
+    header, rows = sweep_series(
+        [p.devices for p in sweep],
+        [p.delivery_probability for p in sweep],
+        "devices",
+        "delivery_probability",
+    )
+    written.append(write_csv(out_dir / "e15_channel.csv", header, rows))
+
+    return written

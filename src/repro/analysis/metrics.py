@@ -1,0 +1,109 @@
+"""Generic statistical summaries for benchmark output.
+
+Benchmarks print rows; these helpers keep the rows honest: means with
+confidence intervals, ratio comparisons with direction ("who wins, by
+roughly what factor"), and crossover detection on series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and spread of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """The 95 % confidence interval for the mean (normal approx)."""
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def format(self, digits: int = 3) -> str:
+        """Compact ``mean ± hw`` rendering."""
+        return f"{self.mean:.{digits}g} ± {self.ci95_half_width:.{digits}g}"
+
+
+def summarize_samples(samples: Sequence[float]) -> Summary:
+    """Summary statistics with a normal-approximation 95 % CI.
+
+    >>> s = summarize_samples([1.0, 2.0, 3.0])
+    >>> s.mean
+    2.0
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or len(arr) == 0:
+        raise ValueError("samples must be a non-empty 1-D sequence")
+    n = len(arr)
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    half = 1.96 * std / math.sqrt(n) if n > 1 else 0.0
+    return Summary(n=n, mean=float(arr.mean()), std=std, ci95_half_width=half)
+
+
+@dataclass(frozen=True)
+class FactorComparison:
+    """A wins/loses-by-factor comparison between two quantities."""
+
+    label_a: str
+    label_b: str
+    value_a: float
+    value_b: float
+    higher_is_better: bool = True
+
+    @property
+    def winner(self) -> str:
+        """Which label wins under the stated direction."""
+        a_wins = (self.value_a > self.value_b) == self.higher_is_better
+        if self.value_a == self.value_b:
+            return "tie"
+        return self.label_a if a_wins else self.label_b
+
+    @property
+    def factor(self) -> float:
+        """How many times better the winner is (>= 1)."""
+        lo = min(self.value_a, self.value_b)
+        hi = max(self.value_a, self.value_b)
+        if lo <= 0.0:
+            return float("inf") if hi > 0.0 else 1.0
+        return hi / lo
+
+    def format(self) -> str:
+        """Human-readable one-liner for benchmark tables."""
+        return (
+            f"{self.label_a}={self.value_a:.4g} vs {self.label_b}={self.value_b:.4g}"
+            f" -> {self.winner} by {self.factor:.2f}x"
+        )
+
+
+def first_crossing(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> Optional[float]:
+    """First x where series A drops to or below series B.
+
+    Linear interpolation between samples; None if no crossing.
+    """
+    xs = np.asarray(xs, dtype=float)
+    a = np.asarray(ys_a, dtype=float)
+    b = np.asarray(ys_b, dtype=float)
+    if not (len(xs) == len(a) == len(b)) or len(xs) < 2:
+        raise ValueError("series must share length >= 2")
+    diff = a - b
+    for i in range(1, len(xs)):
+        if diff[i - 1] > 0.0 >= diff[i]:
+            span = diff[i - 1] - diff[i]
+            if span == 0.0:
+                return float(xs[i])
+            frac = diff[i - 1] / span
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+        if diff[i - 1] <= 0.0:
+            return float(xs[i - 1])
+    return None

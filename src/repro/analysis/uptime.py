@@ -1,0 +1,115 @@
+"""Uptime and availability analysis over simulation logs.
+
+Complements the live metric in :class:`repro.net.cloud.CloudEndpoint`
+with offline calculations: availability from deploy/fail/retire logs,
+interval coverage from arbitrary arrival-time lists, and Monte-Carlo
+aggregation across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core import units
+from ..core.engine import Simulation
+
+
+def interval_coverage(
+    arrival_times: Sequence[float],
+    start: float,
+    end: float,
+    interval: float = units.WEEK,
+) -> float:
+    """Fraction of ``interval``-sized bins in [start, end) containing an
+    arrival — the generalized form of the paper's weekly metric.
+
+    >>> interval_coverage([0.5, 1.5], 0.0, 4.0, interval=1.0)
+    0.5
+    """
+    if end <= start:
+        raise ValueError("end must exceed start")
+    if interval <= 0.0:
+        raise ValueError("interval must be positive")
+    n_bins = int((end - start) // interval)
+    if n_bins == 0:
+        raise ValueError("window shorter than one interval")
+    hit = np.zeros(n_bins, dtype=bool)
+    for t in arrival_times:
+        if start <= t < start + n_bins * interval:
+            hit[int((t - start) // interval)] = True
+    return float(hit.mean())
+
+
+def longest_gap(
+    arrival_times: Sequence[float], start: float, end: float
+) -> float:
+    """Longest silent stretch (seconds) within the window."""
+    if end <= start:
+        raise ValueError("end must exceed start")
+    inside = sorted(t for t in arrival_times if start <= t < end)
+    if not inside:
+        return end - start
+    gaps = [inside[0] - start]
+    for a, b in zip(inside, inside[1:]):
+        gaps.append(b - a)
+    gaps.append(end - inside[-1])
+    return float(max(gaps))
+
+
+def entity_availability(sim: Simulation, name: str, start: float, end: float) -> float:
+    """Fraction of [start, end) an entity was in service, from the run log.
+
+    Uses the engine's ``deploy``/``fail``/``retire`` records.
+    """
+    if end <= start:
+        raise ValueError("end must exceed start")
+    up_spans: List[tuple] = []
+    current_up: float = None
+    for record in sim.log:
+        if record.message != name:
+            continue
+        if record.channel == "deploy":
+            current_up = record.time
+        elif record.channel in ("fail", "retire") and current_up is not None:
+            up_spans.append((current_up, record.time))
+            current_up = None
+    if current_up is not None:
+        up_spans.append((current_up, end))
+    total = 0.0
+    for span_start, span_end in up_spans:
+        lo = max(span_start, start)
+        hi = min(span_end, end)
+        total += max(0.0, hi - lo)
+    return total / (end - start)
+
+
+@dataclass(frozen=True)
+class MonteCarloUptime:
+    """Aggregated weekly-uptime statistics across independent runs."""
+
+    runs: int
+    mean: float
+    std: float
+    p5: float
+    p50: float
+    p95: float
+    worst: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "MonteCarloUptime":
+        """Summarize per-run uptime fractions."""
+        if not samples:
+            raise ValueError("samples must be non-empty")
+        arr = np.asarray(samples, dtype=float)
+        return MonteCarloUptime(
+            runs=len(arr),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+            p5=float(np.percentile(arr, 5)),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            worst=float(arr.min()),
+        )

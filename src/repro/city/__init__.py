@@ -1,0 +1,58 @@
+"""City-scale deployment: asset inventories, rollout plans, workloads."""
+
+from .assets import (
+    LA_INTERSECTIONS,
+    LA_STREETLIGHTS,
+    LA_TOTAL_ASSETS,
+    LA_UTILITY_POLES,
+    SERVICE_LIFE_YEARS,
+    AssetClass,
+    CityInventory,
+    los_angeles,
+    san_diego_pilot,
+    scaled_city,
+)
+from .airquality import (
+    PollutionFieldConfig,
+    SensingError,
+    density_study,
+    evaluate_density,
+    nearest_sensor_reconstruction,
+    synthesize_field,
+)
+from .deployment import RolloutPlan, city_rollout
+from .trash import (
+    BinFleetConfig,
+    CollectionResult,
+    SeoulComparison,
+    compare_policies,
+    simulate_scheduled,
+    simulate_sensor_driven,
+)
+
+__all__ = [
+    "LA_INTERSECTIONS",
+    "LA_STREETLIGHTS",
+    "LA_TOTAL_ASSETS",
+    "LA_UTILITY_POLES",
+    "SERVICE_LIFE_YEARS",
+    "AssetClass",
+    "CityInventory",
+    "los_angeles",
+    "san_diego_pilot",
+    "scaled_city",
+    "PollutionFieldConfig",
+    "SensingError",
+    "density_study",
+    "evaluate_density",
+    "nearest_sensor_reconstruction",
+    "synthesize_field",
+    "RolloutPlan",
+    "city_rollout",
+    "BinFleetConfig",
+    "CollectionResult",
+    "SeoulComparison",
+    "compare_policies",
+    "simulate_scheduled",
+    "simulate_sensor_driven",
+]

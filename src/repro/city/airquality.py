@@ -1,0 +1,165 @@
+"""Spatial sensing granularity: the air-pollution argument (§2).
+
+"Instrumenting one intersection will not give city planners an accurate
+picture of the overall city traffic.  Air pollution is highly localized,
+and requires measurement at city-block granularity [Marshall et al.]."
+
+We synthesize a spatially-correlated pollution field (Gaussian random
+field with a block-scale correlation length plus road-source hotspots)
+and measure reconstruction error as a function of sensor density — the
+quantitative form of "the success of an IoT application is tied to the
+scale of the network".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PollutionFieldConfig:
+    """A synthetic city-scale pollutant surface.
+
+    ``correlation_length_m`` controls how localized pollution is; the
+    Marshall et al. within-urban-variability result corresponds to a few
+    hundred metres.  Roads add line sources with steep near-road decay.
+    """
+
+    extent_m: float = 8_000.0
+    resolution_m: float = 100.0
+    background_mean: float = 30.0      # e.g. NO2 ppb city background
+    field_sigma: float = 8.0
+    correlation_length_m: float = 300.0
+    n_roads: int = 6
+    road_peak: float = 25.0
+    road_decay_m: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.extent_m <= 0.0 or self.resolution_m <= 0.0:
+            raise ValueError("extent_m and resolution_m must be positive")
+        if self.resolution_m > self.extent_m:
+            raise ValueError("resolution_m must not exceed extent_m")
+        if self.correlation_length_m <= 0.0:
+            raise ValueError("correlation_length_m must be positive")
+
+    @property
+    def grid_size(self) -> int:
+        """Cells per side."""
+        return int(self.extent_m // self.resolution_m)
+
+
+def synthesize_field(
+    config: PollutionFieldConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Generate one pollution surface (grid_size x grid_size).
+
+    Smooth background: white noise convolved with a Gaussian kernel at
+    the correlation length (FFT-based, so city-size grids are cheap).
+    Roads: randomly-oriented straight line sources with exponential
+    lateral decay.
+    """
+    n = config.grid_size
+    noise = rng.standard_normal((n, n))
+    sigma_cells = config.correlation_length_m / config.resolution_m
+    kx = np.fft.fftfreq(n)
+    window = np.exp(-2.0 * (np.pi * sigma_cells) ** 2 * (kx[:, None] ** 2 + kx[None, :] ** 2))
+    smooth = np.real(np.fft.ifft2(np.fft.fft2(noise) * window))
+    smooth *= config.field_sigma / max(smooth.std(), 1e-12)
+    surface = config.background_mean + smooth
+
+    ys, xs = np.mgrid[0:n, 0:n].astype(float)
+    for _ in range(config.n_roads):
+        angle = rng.uniform(0.0, np.pi)
+        cx, cy = rng.uniform(0, n, size=2)
+        # Perpendicular distance (cells) from each cell to the road line.
+        normal = np.array([np.sin(angle), -np.cos(angle)])
+        distance_cells = np.abs((xs - cx) * normal[0] + (ys - cy) * normal[1])
+        distance_m = distance_cells * config.resolution_m
+        surface += config.road_peak * np.exp(-distance_m / config.road_decay_m)
+    return surface
+
+
+@dataclass(frozen=True)
+class SensingError:
+    """Reconstruction quality at one sensor density."""
+
+    n_sensors: int
+    spacing_m: float
+    rmse: float
+    max_error: float
+    field_sigma: float
+
+    @property
+    def normalized_rmse(self) -> float:
+        """RMSE relative to the field's own spatial variability."""
+        if self.field_sigma == 0.0:
+            return 0.0
+        return self.rmse / self.field_sigma
+
+
+def nearest_sensor_reconstruction(
+    surface: np.ndarray, sensor_cells: Sequence
+) -> np.ndarray:
+    """Estimate the full field from point samples (nearest-neighbour).
+
+    City dashboards interpolate; nearest-neighbour is the conservative
+    floor and keeps the result model-free.
+    """
+    if len(sensor_cells) == 0:
+        raise ValueError("need at least one sensor")
+    n = surface.shape[0]
+    ys, xs = np.mgrid[0:n, 0:n]
+    best = np.full((n, n), np.inf)
+    estimate = np.zeros((n, n))
+    for (sy, sx) in sensor_cells:
+        d2 = (ys - sy) ** 2 + (xs - sx) ** 2
+        closer = d2 < best
+        best[closer] = d2[closer]
+        estimate[closer] = surface[sy, sx]
+    return estimate
+
+
+def evaluate_density(
+    config: PollutionFieldConfig,
+    spacing_m: float,
+    rng: np.random.Generator,
+    surface: np.ndarray = None,
+) -> SensingError:
+    """Place sensors on a ``spacing_m`` grid and measure field error."""
+    if spacing_m <= 0.0:
+        raise ValueError("spacing_m must be positive")
+    if surface is None:
+        surface = synthesize_field(config, rng)
+    n = config.grid_size
+    step = max(1, int(round(spacing_m / config.resolution_m)))
+    cells = [(y, x) for y in range(step // 2, n, step) for x in range(step // 2, n, step)]
+    estimate = nearest_sensor_reconstruction(surface, cells)
+    error = estimate - surface
+    true_sigma = float(surface.std())
+    return SensingError(
+        n_sensors=len(cells),
+        spacing_m=step * config.resolution_m,
+        rmse=float(np.sqrt(np.mean(error**2))),
+        max_error=float(np.abs(error).max()),
+        field_sigma=true_sigma,
+    )
+
+
+def density_study(
+    config: PollutionFieldConfig,
+    spacings_m: Sequence[float],
+    rng: np.random.Generator,
+) -> List[SensingError]:
+    """Error vs sensor spacing over one shared surface.
+
+    The §2 claim holds when block-scale spacing (~100-300 m) achieves
+    small normalized error while kilometre spacing does not.
+    """
+    surface = synthesize_field(config, rng)
+    return [
+        evaluate_density(config, spacing, rng, surface=surface)
+        for spacing in spacings_m
+    ]

@@ -1,0 +1,149 @@
+"""City asset inventories: the substrate smart infrastructure bolts onto.
+
+§1's Los Angeles counts — 320,000 utility poles, 61,315 intersections,
+210,000 streetlights — are embedded as the calibration city.  Assets
+carry the service life of the *physical* infrastructure they are mounted
+on (poles ~40 yr, pavement ~25 yr, bridges ~50 yr), which bounds how
+long an embedded sensor can possibly matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import units
+
+#: §1's published Los Angeles inventory.
+LA_UTILITY_POLES: int = 320_000
+LA_INTERSECTIONS: int = 61_315
+LA_STREETLIGHTS: int = 210_000
+LA_TOTAL_ASSETS: int = LA_UTILITY_POLES + LA_INTERSECTIONS + LA_STREETLIGHTS
+
+#: Median service lives the paper cites: roads 25 yr (WisDOT), bridges
+#: 50 yr (NBI), wood poles ~40 yr (NAWPC).
+SERVICE_LIFE_YEARS: Dict[str, float] = {
+    "utility-pole": 40.0,
+    "intersection": 25.0,   # tied to pavement cycle
+    "streetlight": 30.0,
+    "bridge": 50.0,
+    "road-segment": 25.0,
+}
+
+
+@dataclass(frozen=True)
+class AssetClass:
+    """One category of mountable/embeddable infrastructure."""
+
+    name: str
+    count: int
+    service_life_years: float
+    sensors_per_asset: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.service_life_years <= 0.0:
+            raise ValueError("service_life_years must be positive")
+        if self.sensors_per_asset < 0:
+            raise ValueError("sensors_per_asset must be non-negative")
+
+    @property
+    def sensor_count(self) -> int:
+        """Sensors hosted by this asset class at full instrumentation."""
+        return self.count * self.sensors_per_asset
+
+    @property
+    def service_life(self) -> float:
+        """Service life in seconds."""
+        return units.years(self.service_life_years)
+
+
+@dataclass(frozen=True)
+class CityInventory:
+    """A city's instrumentable asset classes."""
+
+    name: str
+    assets: List[AssetClass]
+
+    def total_assets(self) -> int:
+        """All mountable assets."""
+        return sum(a.count for a in self.assets)
+
+    def total_sensors(self) -> int:
+        """Sensors at full instrumentation."""
+        return sum(a.sensor_count for a in self.assets)
+
+    def asset(self, name: str) -> AssetClass:
+        """Look up one asset class by name."""
+        for asset_class in self.assets:
+            if asset_class.name == name:
+                return asset_class
+        raise KeyError(f"no asset class {name!r} in {self.name}")
+
+    def replacement_person_hours(
+        self, minutes_per_device: float = 20.0
+    ) -> float:
+        """§1's arithmetic: person-hours to touch every sensor once."""
+        if minutes_per_device <= 0.0:
+            raise ValueError("minutes_per_device must be positive")
+        return self.total_sensors() * minutes_per_device / 60.0
+
+
+def los_angeles() -> CityInventory:
+    """The paper's calibration city, with its three §1 asset classes."""
+    return CityInventory(
+        name="Los Angeles",
+        assets=[
+            AssetClass(
+                "utility-pole", LA_UTILITY_POLES, SERVICE_LIFE_YEARS["utility-pole"]
+            ),
+            AssetClass(
+                "intersection", LA_INTERSECTIONS, SERVICE_LIFE_YEARS["intersection"]
+            ),
+            AssetClass(
+                "streetlight", LA_STREETLIGHTS, SERVICE_LIFE_YEARS["streetlight"]
+            ),
+        ],
+    )
+
+
+def san_diego_pilot() -> CityInventory:
+    """§2's San Diego deployment scale: 8,000 smart LEDs, 3,300 sensor
+    nodes on streetlights."""
+    return CityInventory(
+        name="San Diego (pilot)",
+        assets=[
+            AssetClass(
+                "streetlight",
+                8_000,
+                SERVICE_LIFE_YEARS["streetlight"],
+                sensors_per_asset=0,
+            ),
+            AssetClass(
+                "sensor-node-host",
+                3_300,
+                SERVICE_LIFE_YEARS["streetlight"],
+                sensors_per_asset=1,
+            ),
+        ],
+    )
+
+
+def scaled_city(name: str, scale: float) -> CityInventory:
+    """An LA-proportioned city at ``scale`` times LA's size."""
+    if scale <= 0.0:
+        raise ValueError("scale must be positive")
+    la = los_angeles()
+    return CityInventory(
+        name=name,
+        assets=[
+            AssetClass(
+                a.name,
+                int(round(a.count * scale)),
+                a.service_life_years,
+                a.sensors_per_asset,
+            )
+            for a in la.assets
+        ],
+    )

@@ -1,0 +1,125 @@
+"""Rollout planning: geographic batches on infrastructure project cycles.
+
+"Los Angeles was not built in a day.  Instead of replacing or upgrading
+one sensor type en masse, infrastructure projects operate in
+geographical batches to keep costs down."  ``RolloutPlan`` turns a city
+inventory into the staggered cohort schedule that
+:mod:`repro.core.lifetime` consumes, and prices it with
+:mod:`repro.econ.costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from ..core import units
+from ..core.lifetime import FleetTimeline, pipelined_fleet
+from ..econ.costs import CostParameters
+from .assets import AssetClass, CityInventory
+
+
+@dataclass(frozen=True)
+class RolloutPlan:
+    """How one city instruments one asset class over time.
+
+    ``project_cycle_years`` — the infrastructure maintenance cycle the
+    sensor work rides on (repaving, relamping).  ``batches`` — how many
+    geographic batches the city is divided into.
+    """
+
+    asset: AssetClass
+    project_cycle_years: float
+    batches: int = 24
+    instrumented_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.project_cycle_years <= 0.0:
+            raise ValueError("project_cycle_years must be positive")
+        if self.batches < 1:
+            raise ValueError("batches must be >= 1")
+        if not 0.0 < self.instrumented_fraction <= 1.0:
+            raise ValueError("instrumented_fraction must be in (0, 1]")
+
+    @property
+    def fleet_size(self) -> int:
+        """Sensors this plan deploys at steady state."""
+        return max(1, int(self.asset.sensor_count * self.instrumented_fraction))
+
+    @property
+    def batch_size(self) -> int:
+        """Sensors refreshed per project batch."""
+        return max(1, self.fleet_size // self.batches)
+
+    @property
+    def build_out_years(self) -> float:
+        """Time to first full coverage (one whole project cycle)."""
+        return self.project_cycle_years
+
+    def timeline(
+        self,
+        lifetime_sampler: Callable[[int], np.ndarray],
+        horizon: float,
+        coverage_floor: float = 0.5,
+        stop_replacing_after: float = None,
+    ) -> FleetTimeline:
+        """Materialize the staggered cohort timeline for this plan."""
+        return pipelined_fleet(
+            nominal_size=self.fleet_size,
+            lifetime_sampler=lifetime_sampler,
+            refresh_interval=units.years(self.project_cycle_years),
+            horizon=horizon,
+            batches=self.batches,
+            coverage_floor=coverage_floor,
+            stop_replacing_after=stop_replacing_after,
+        )
+
+    def annual_touch_rate(self) -> float:
+        """Devices touched per year under the project cadence."""
+        return self.fleet_size / self.project_cycle_years
+
+    def annual_cost_usd(self, costs: CostParameters = CostParameters()) -> float:
+        """Steady-state annual spend riding the project cycle.
+
+        Because sensor swaps piggyback on scheduled works, no dedicated
+        truck roll is charged — the §1 economy of geographic batching.
+        """
+        per_device = costs.device_hardware_usd + costs.labor_usd_per_hour * (
+            costs.replacement_minutes / 60.0
+        )
+        return self.annual_touch_rate() * per_device
+
+    def standalone_annual_cost_usd(
+        self, device_mtbf_years: float, costs: CostParameters = CostParameters()
+    ) -> float:
+        """Counterfactual: maintaining the same fleet with dedicated
+        on-failure truck rolls instead of riding project batches."""
+        return costs.annual_maintenance_usd(self.fleet_size, device_mtbf_years)
+
+
+def city_rollout(
+    city: CityInventory,
+    instrumented_fraction: float = 1.0,
+    batches: int = 24,
+) -> List[RolloutPlan]:
+    """One plan per asset class, cycles tied to each asset's service life.
+
+    The project cycle for sensors on an asset is that asset's own
+    maintenance cycle — sensors embedded in pavement get refreshed when
+    the pavement does.
+    """
+    plans = []
+    for asset in city.assets:
+        if asset.sensor_count == 0:
+            continue
+        plans.append(
+            RolloutPlan(
+                asset=asset,
+                project_cycle_years=min(asset.service_life_years, 25.0),
+                batches=batches,
+                instrumented_fraction=instrumented_fraction,
+            )
+        )
+    return plans

@@ -1,0 +1,227 @@
+"""Sensor-driven waste collection: reproducing the Seoul result (§2).
+
+The paper cites Seoul's smart-bin programme reducing bin overflow by
+66 % and waste-collection cost by 83 %.  We rebuild the mechanism from
+first principles: bins fill at heterogeneous, bursty rates; a
+*scheduled* collector visits every bin on a fixed cadence (overflowing
+the fast bins, wasting trips on the slow ones); a *sensor-driven*
+collector dispatches only when a fill sensor crosses a threshold.
+
+Cost is counted in bin-visits (the dominant driver of collection cost:
+truck time per stop); overflow is counted in bin-hours spent above
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+
+@dataclass(frozen=True)
+class BinFleetConfig:
+    """A heterogeneous fleet of public trash bins.
+
+    Fill rates are log-normal across bins: a few high-traffic bins fill
+    in under a day while most take a week or more — the mismatch that
+    breaks fixed schedules.
+    """
+
+    n_bins: int = 500
+    median_fill_days: float = 7.0
+    fill_sigma: float = 1.0
+    burst_probability: float = 0.02   # chance per bin-hour of an event dump
+    burst_fill_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_bins <= 0:
+            raise ValueError("n_bins must be positive")
+        if self.median_fill_days <= 0.0:
+            raise ValueError("median_fill_days must be positive")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+
+    def sample_rates(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-bin mean fill fraction per hour."""
+        fill_days = rng.lognormal(np.log(self.median_fill_days), self.fill_sigma, self.n_bins)
+        return 1.0 / (fill_days * 24.0)
+
+
+@dataclass(frozen=True)
+class CollectionResult:
+    """Outcome of one collection policy over the study window."""
+
+    policy: str
+    visits: int
+    overflow_bin_hours: float
+    overflow_events: int
+    horizon_days: float
+
+    @property
+    def visits_per_bin_day(self) -> float:
+        """Visit intensity (the cost proxy), normalized."""
+        return self.visits / self.horizon_days
+
+    def overflow_reduction_vs(self, baseline: "CollectionResult") -> float:
+        """Fractional overflow reduction relative to ``baseline``."""
+        if baseline.overflow_bin_hours == 0.0:
+            return 0.0
+        return 1.0 - self.overflow_bin_hours / baseline.overflow_bin_hours
+
+    def cost_reduction_vs(self, baseline: "CollectionResult") -> float:
+        """Fractional visit-cost reduction relative to ``baseline``."""
+        if baseline.visits == 0:
+            return 0.0
+        return 1.0 - self.visits / baseline.visits
+
+
+def _step_fills(
+    fill: np.ndarray,
+    rates: np.ndarray,
+    config: BinFleetConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Advance all bins by one hour (fills may exceed 1.0 = overflow)."""
+    noise = rng.gamma(shape=4.0, scale=0.25, size=len(fill))
+    fill = fill + rates * noise
+    bursts = rng.random(len(fill)) < config.burst_probability
+    fill = fill + bursts * config.burst_fill_fraction
+    return fill
+
+
+def simulate_scheduled(
+    config: BinFleetConfig,
+    rng: np.random.Generator,
+    horizon_days: float = 90.0,
+    visit_interval_days: float = 2.0,
+) -> CollectionResult:
+    """Fixed-cadence collection: every bin, every ``visit_interval_days``.
+
+    This is the pre-sensor baseline: the schedule must be tight enough
+    for the *fast* bins, so most visits find half-empty bins, and fast
+    bins still overflow between visits.
+    """
+    if horizon_days <= 0.0 or visit_interval_days <= 0.0:
+        raise ValueError("horizon and interval must be positive")
+    rates = config.sample_rates(rng)
+    fill = rng.random(config.n_bins) * 0.5
+    hours = int(horizon_days * 24)
+    interval_hours = int(visit_interval_days * 24)
+    visits = 0
+    overflow_hours = 0.0
+    overflow_events = 0
+    overflowing = np.zeros(config.n_bins, dtype=bool)
+    for hour in range(1, hours + 1):
+        fill = _step_fills(fill, rates, config, rng)
+        now_over = fill >= 1.0
+        overflow_events += int(np.sum(now_over & ~overflowing))
+        overflowing = now_over
+        overflow_hours += float(np.sum(now_over))
+        if hour % interval_hours == 0:
+            visits += config.n_bins
+            fill[:] = 0.0
+            overflowing[:] = False
+    return CollectionResult(
+        policy=f"scheduled-{visit_interval_days:g}d",
+        visits=visits,
+        overflow_bin_hours=overflow_hours,
+        overflow_events=overflow_events,
+        horizon_days=horizon_days,
+    )
+
+
+def simulate_sensor_driven(
+    config: BinFleetConfig,
+    rng: np.random.Generator,
+    horizon_days: float = 90.0,
+    dispatch_threshold: float = 0.85,
+    response_hours: int = 24,
+    capacity_multiplier: float = 3.0,
+) -> CollectionResult:
+    """Sensor-driven collection with compacting smart bins.
+
+    Seoul's deployment (Ecube-style solar compactors) pairs a fill
+    sensor with on-bin compaction: ``capacity_multiplier`` is the
+    effective capacity gain from compaction (field reports run 3–8×).
+    A pickup is dispatched within ``response_hours`` of the sensor
+    crossing ``dispatch_threshold`` of the *compacted* capacity.  Only
+    full bins are ever visited and each visit collects several bins'
+    worth — the 83 %-cost mechanism; fast bins are caught by the sensor
+    before the brim — the 66 %-overflow mechanism.
+    """
+    if not 0.0 < dispatch_threshold < 1.0:
+        raise ValueError("dispatch_threshold must be in (0, 1)")
+    if response_hours < 0:
+        raise ValueError("response_hours must be non-negative")
+    if capacity_multiplier < 1.0:
+        raise ValueError("capacity_multiplier must be >= 1")
+    rates = config.sample_rates(rng)
+    fill = rng.random(config.n_bins) * 0.5
+    capacity = capacity_multiplier
+    hours = int(horizon_days * 24)
+    pending = np.full(config.n_bins, -1, dtype=int)  # dispatch countdown
+    visits = 0
+    overflow_hours = 0.0
+    overflow_events = 0
+    overflowing = np.zeros(config.n_bins, dtype=bool)
+    for _hour in range(1, hours + 1):
+        fill = _step_fills(fill, rates, config, rng)
+        now_over = fill >= capacity
+        overflow_events += int(np.sum(now_over & ~overflowing))
+        overflowing = now_over
+        overflow_hours += float(np.sum(now_over))
+        crossed = (fill >= dispatch_threshold * capacity) & (pending < 0)
+        pending[crossed] = response_hours
+        due = pending == 0
+        if np.any(due):
+            visits += int(np.sum(due))
+            fill[due] = 0.0
+            overflowing[due] = False
+        pending[pending >= 0] -= 1
+    return CollectionResult(
+        policy=f"sensor-driven@{dispatch_threshold:g}x{capacity_multiplier:g}",
+        visits=visits,
+        overflow_bin_hours=overflow_hours,
+        overflow_events=overflow_events,
+        horizon_days=horizon_days,
+    )
+
+
+@dataclass(frozen=True)
+class SeoulComparison:
+    """The E3 benchmark row: paper-vs-measured reductions."""
+
+    overflow_reduction: float
+    cost_reduction: float
+    paper_overflow_reduction: float = 0.66
+    paper_cost_reduction: float = 0.83
+
+    def shape_holds(self, tolerance: float = 0.25) -> bool:
+        """True if both reductions land within ``tolerance`` of the paper
+        and in the right direction (large double-digit improvements)."""
+        return (
+            abs(self.overflow_reduction - self.paper_overflow_reduction) <= tolerance
+            and abs(self.cost_reduction - self.paper_cost_reduction) <= tolerance
+        )
+
+
+def compare_policies(
+    config: BinFleetConfig = BinFleetConfig(),
+    seed: int = 2021,
+    horizon_days: float = 90.0,
+    visit_interval_days: float = 2.0,
+    dispatch_threshold: float = 0.85,
+) -> SeoulComparison:
+    """Run both policies on identically-distributed fleets and compare."""
+    baseline = simulate_scheduled(
+        config, np.random.default_rng(seed), horizon_days, visit_interval_days
+    )
+    smart = simulate_sensor_driven(
+        config, np.random.default_rng(seed), horizon_days, dispatch_threshold
+    )
+    return SeoulComparison(
+        overflow_reduction=smart.overflow_reduction_vs(baseline),
+        cost_reduction=smart.cost_reduction_vs(baseline),
+    )

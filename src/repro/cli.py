@@ -1,0 +1,204 @@
+"""Command-line interface for centurysim.
+
+Exposes the most-used entry points without writing Python::
+
+    python -m repro scenarios                 # list canned scenarios
+    python -m repro run as-designed --years 10 --seed 7
+    python -m repro quote --years 50 --per-hour 1
+    python -m repro tco --gateways 100 --horizon 50
+    python -m repro la                        # the §1 labor arithmetic
+    python -m repro capacity --interval-s 3600
+
+Output is plain text, one artifact per subcommand, suitable for piping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import units
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .experiment import SCENARIOS
+
+    for name, factory in sorted(SCENARIOS.items()):
+        config = factory(0)
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<20} {doc}")
+        print(
+            f"{'':<20}   devices: {config.n_154_devices}x802.15.4 + "
+            f"{config.n_lora_devices}xLoRa; gateways: "
+            f"{config.n_owned_gateways} owned + {config.initial_hotspots} hotspots"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiment import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; options: {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    from dataclasses import replace
+
+    config = SCENARIOS[args.scenario](args.seed)
+    config = replace(
+        config,
+        horizon=units.years(args.years),
+        report_interval=units.days(args.report_days),
+    )
+    from .experiment import FiftyYearExperiment
+
+    result = FiftyYearExperiment(config).run()
+    for line in result.summary_lines():
+        print(line)
+    if args.diary:
+        print()
+        print(result.diary.render())
+    return 0
+
+
+def _cmd_quote(args: argparse.Namespace) -> int:
+    from .econ.credits import cost_per_device_per_year, paper_prepay_quote
+
+    quote = paper_prepay_quote(years=args.years, packets_per_hour=args.per_hour)
+    print(f"credits needed     : {quote.credits_needed:,}")
+    print(f"credits provisioned: {quote.credits_provisioned:,}")
+    print(f"wallet cost        : ${quote.cost_usd:,.2f}")
+    print(
+        f"steady state       : "
+        f"${cost_per_device_per_year(args.per_hour):.4f} per device-year"
+    )
+    return 0
+
+
+def _cmd_tco(args: argparse.Namespace) -> int:
+    from .econ import crossover_year, tco_series
+
+    print(f"{'year':>6} {'fiber $':>12} {'cellular $':>12}  leader")
+    for point in tco_series(
+        args.gateways, horizon_years=args.horizon, step_years=args.step
+    ):
+        leader = "fiber" if point.fiber_wins else "cellular"
+        print(
+            f"{point.years:>6.0f} {point.fiber_usd:>12,.0f} "
+            f"{point.cellular_usd:>12,.0f}  {leader}"
+        )
+    year = crossover_year(args.gateways, horizon_years=args.horizon)
+    rendered = "never (within horizon)" if year == float("inf") else f"year {year:.1f}"
+    print(f"crossover: {rendered}")
+    return 0
+
+
+def _cmd_la(args: argparse.Namespace) -> int:
+    from .city import los_angeles
+
+    city = los_angeles()
+    for asset in city.assets:
+        print(f"{asset.name:<14} {asset.count:>9,} "
+              f"(service life {asset.service_life_years:.0f} yr)")
+    print(f"{'total':<14} {city.total_assets():>9,}")
+    hours = city.replacement_person_hours(minutes_per_device=args.minutes)
+    print(f"replacement labor at {args.minutes:.0f} min/device: "
+          f"{hours:,.0f} person-hours")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from .radio import LoRaParameters, capacity_table, ieee802154
+
+    airtimes = {
+        "802.15.4": ieee802154.airtime_s(args.payload),
+        "lora-sf7": LoRaParameters(spreading_factor=7).airtime_s(args.payload),
+        "lora-sf10": LoRaParameters(spreading_factor=10).airtime_s(args.payload),
+        "lora-sf12": LoRaParameters(spreading_factor=12).airtime_s(args.payload),
+    }
+    table = capacity_table(
+        airtimes, interval_s=args.interval_s, min_delivery=args.min_delivery
+    )
+    print(f"devices per channel at {args.min_delivery:.0%} per-frame delivery, "
+          f"{args.payload}-byte payload every {args.interval_s:.0f} s:")
+    for name, capacity in table.items():
+        print(f"  {name:<10} {capacity:>10,}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.export import export_all_figures
+
+    written = export_all_figures(args.out, seed=args.seed)
+    for path in written:
+        print(path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="centurysim: Century-Scale Smart Infrastructure, simulated",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list canned 50-year scenarios")
+
+    run = sub.add_parser("run", help="run a 50-year-experiment scenario")
+    run.add_argument("scenario")
+    run.add_argument("--years", type=float, default=10.0)
+    run.add_argument("--seed", type=int, default=2021)
+    run.add_argument("--report-days", type=float, default=1.0,
+                     help="device reporting cadence in days")
+    run.add_argument("--diary", action="store_true", help="print the diary")
+
+    quote = sub.add_parser("quote", help="prepaid data-credit quote (§4.4)")
+    quote.add_argument("--years", type=float, default=50.0)
+    quote.add_argument("--per-hour", type=float, default=1.0)
+
+    tco = sub.add_parser("tco", help="fiber vs cellular TCO (§3.3)")
+    tco.add_argument("--gateways", type=int, default=100)
+    tco.add_argument("--horizon", type=float, default=50.0)
+    tco.add_argument("--step", type=float, default=5.0)
+
+    la = sub.add_parser("la", help="the §1 Los Angeles labor arithmetic")
+    la.add_argument("--minutes", type=float, default=20.0)
+
+    capacity = sub.add_parser("capacity", help="devices-per-channel capacity")
+    capacity.add_argument("--interval-s", type=float, default=3600.0)
+    capacity.add_argument("--payload", type=int, default=24)
+    capacity.add_argument("--min-delivery", type=float, default=0.9)
+
+    export = sub.add_parser(
+        "export", help="write figure-grade CSV series for every figure"
+    )
+    export.add_argument("--out", default="figures")
+    export.add_argument("--seed", type=int, default=2021)
+
+    return parser
+
+
+COMMANDS = {
+    "scenarios": _cmd_scenarios,
+    "run": _cmd_run,
+    "quote": _cmd_quote,
+    "tco": _cmd_tco,
+    "la": _cmd_la,
+    "capacity": _cmd_capacity,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Core discrete-event kernel and hierarchy/lifetime models.
+
+The ``core`` package has no dependencies on the rest of ``repro``; every
+other subsystem builds on it.
+"""
+
+from . import units
+from .engine import LogRecord, PeriodicTask, Simulation, SimulationError
+from .entity import Entity, EntityState, fresh_id
+from .events import Event, EventQueue
+from .hierarchy import Hierarchy, TierStats, wire_by_fanout
+from .lifetime import (
+    Cohort,
+    FleetTimeline,
+    LifetimeSummary,
+    en_masse_fleet,
+    pipelined_fleet,
+    replacement_rate,
+    summarize,
+)
+from .policy import (
+    AttachmentPolicy,
+    DeploymentPolicy,
+    GatewayRole,
+    InfrastructureOwnership,
+)
+from .rng import RandomStreams
+
+__all__ = [
+    "units",
+    "Simulation",
+    "SimulationError",
+    "PeriodicTask",
+    "LogRecord",
+    "Entity",
+    "EntityState",
+    "fresh_id",
+    "Event",
+    "EventQueue",
+    "Hierarchy",
+    "TierStats",
+    "wire_by_fanout",
+    "Cohort",
+    "FleetTimeline",
+    "LifetimeSummary",
+    "en_masse_fleet",
+    "pipelined_fleet",
+    "replacement_rate",
+    "summarize",
+    "AttachmentPolicy",
+    "DeploymentPolicy",
+    "GatewayRole",
+    "InfrastructureOwnership",
+    "RandomStreams",
+]

@@ -1,0 +1,233 @@
+"""The discrete-event simulation engine.
+
+``Simulation`` owns the clock, the future event list, the named RNG
+streams, and an ordered log of recorded observations.  Subsystems
+schedule callbacks (absolute or relative), and long-running behaviours
+are expressed as self-rescheduling callbacks or via :meth:`every`.
+
+The engine is deliberately synchronous and single-threaded: century
+horizons are covered by the sparsity of events (a sensor transmitting
+hourly for 50 years is ~438k events), not by parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .events import Event, EventQueue
+from .rng import RandomStreams
+
+
+@dataclass
+class LogRecord:
+    """A timestamped observation recorded during a run."""
+
+    time: float
+    channel: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class Simulation:
+    """A single simulation run.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named random streams.
+    start_time:
+        Initial clock value in seconds (default 0.0).
+
+    >>> sim = Simulation(seed=1)
+    >>> hits = []
+    >>> _ = sim.call_at(10.0, lambda: hits.append(sim.now))
+    >>> sim.run_until(100.0)
+    >>> hits
+    [10.0]
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.now: float = float(start_time)
+        self.events = EventQueue()
+        self.streams = RandomStreams(seed=seed)
+        self.log: List[LogRecord] = []
+        self._executed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        return self.events.push(time, callback, priority=priority, label=label)
+
+    def call_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.now + delay, callback, priority=priority, label=label)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        label: str = "",
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds.
+
+        ``start`` is the absolute time of the first call (defaults to
+        ``now + interval``); ``until`` bounds the last call time.
+        Returns a handle whose :meth:`PeriodicTask.stop` halts the cycle.
+        """
+        if interval <= 0.0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        first = self.now + interval if start is None else start
+        task = PeriodicTask(self, interval, callback, until, label)
+        task.schedule(first)
+        return task
+
+    def stop(self) -> None:
+        """Halt the current :meth:`run_until` after the active event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when none remain."""
+        try:
+            event = self.events.pop()
+        except IndexError:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event queue yielded past event at t={event.time} < now={self.now}"
+            )
+        self.now = event.time
+        event.callback()
+        self._executed += 1
+        return True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run events until the clock would pass ``end_time``.
+
+        The clock is left at exactly ``end_time`` (or at the stop point if
+        :meth:`stop` was called).  ``max_events`` is a safety valve for
+        runaway self-scheduling loops.
+        """
+        if end_time < self.now:
+            raise SimulationError(
+                f"end_time {end_time} is before current time {self.now}"
+            )
+        self._stopped = False
+        executed = 0
+        while not self._stopped:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"run_until exceeded max_events={max_events}"
+                )
+        if not self._stopped:
+            self.now = end_time
+
+    @property
+    def executed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._executed
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def record(self, channel: str, message: str = "", **data: Any) -> None:
+        """Append a timestamped observation to the run log."""
+        self.log.append(LogRecord(self.now, channel, message, dict(data)))
+
+    def records(self, channel: str) -> List[LogRecord]:
+        """All log records on ``channel``, in time order."""
+        return [r for r in self.log if r.channel == channel]
+
+    def rng(self, name: str):
+        """Shorthand for ``self.streams.get(name)``."""
+        return self.streams.get(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulation(now={self.now:.6g}, pending={len(self.events)}, "
+            f"executed={self._executed})"
+        )
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`Simulation.every`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        interval: float,
+        callback: Callable[[], None],
+        until: Optional[float],
+        label: str,
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._until = until
+        self._label = label
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self.fired = 0
+
+    def schedule(self, time: float) -> None:
+        """Arm the next firing at absolute ``time`` (internal)."""
+        if self._stopped:
+            return
+        if self._until is not None and time > self._until:
+            return
+        self._event = self._sim.call_at(time, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        self._event = None
+        if self._stopped:
+            return
+        self._callback()
+        self.fired += 1
+        self.schedule(self._sim.now + self._interval)
+
+    def stop(self) -> None:
+        """Stop the cycle; any armed firing is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._sim.events.cancel(self._event)
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        """True while the task still has a scheduled next firing."""
+        return not self._stopped and self._event is not None

@@ -1,0 +1,130 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is a classic future-event-list design: callbacks scheduled at
+absolute simulation times, executed in (time, priority, sequence) order.
+Sequence numbers break ties deterministically, which matters for
+reproducibility when many events share a timestamp (e.g. a fleet
+deployed at t=0).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in the future event list.
+
+    Events sort by ``(time, priority, sequence)``.  Lower priority values
+    run first among same-time events.  Cancelled events stay in the heap
+    but are skipped on pop (lazy deletion).
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6g}, label={self.label!r}, {state})"
+
+
+class EventQueue:
+    """A future event list with deterministic tie-breaking.
+
+    >>> q = EventQueue()
+    >>> order = []
+    >>> _ = q.push(2.0, lambda: order.append("b"))
+    >>> _ = q.push(1.0, lambda: order.append("a"))
+    >>> while not q.empty():
+    ...     q.pop().callback()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(
+        self,
+        time: float,
+        callback: EventCallback,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its Event."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises ``IndexError`` if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event``; popping will silently skip it."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def empty(self) -> bool:
+        """True if no live events remain."""
+        return self.peek_time() is None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._heap.clear()
+        self._live = 0
+
+
+@dataclass
+class TraceRecord:
+    """One executed event, as recorded by an engine trace."""
+
+    time: float
+    label: str
+    detail: Any = None

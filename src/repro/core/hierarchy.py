@@ -1,0 +1,144 @@
+"""The deployment hierarchy of Figure 1.
+
+Devices rely on one or two gateways; gateways rely on one or two
+backhauls; backhauls reach the cloud.  Moving *up* the hierarchy, more
+devices depend on each interface; moving *down*, stable interfaces let
+heterogeneous devices deploy without planning.  ``Hierarchy`` gives a
+queryable view over a set of :class:`~repro.core.entity.Entity` objects:
+fan-out statistics per tier, reachability, and the
+effective-lifetime-=-min(self, upstream) rule evaluated over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from .entity import Entity
+
+TIER_ORDER: Sequence[str] = ("device", "gateway", "backhaul", "cloud")
+
+
+@dataclass
+class TierStats:
+    """Fan-out and survival summary for one hierarchy tier."""
+
+    tier: str
+    count: int
+    alive: int
+    effectively_alive: int
+    mean_dependents: float
+    max_dependents: int
+    mean_dependencies: float
+
+
+@dataclass
+class Hierarchy:
+    """A snapshot view over entities arranged per Figure 1."""
+
+    entities: List[Entity] = field(default_factory=list)
+
+    def add(self, entity: Entity) -> None:
+        """Register an entity with the hierarchy view."""
+        if entity not in self.entities:
+            self.entities.append(entity)
+
+    def extend(self, entities: Iterable[Entity]) -> None:
+        """Register many entities."""
+        for entity in entities:
+            self.add(entity)
+
+    def tier(self, name: str) -> List[Entity]:
+        """All registered entities on tier ``name``."""
+        return [e for e in self.entities if e.TIER == name]
+
+    def tier_stats(self, name: str) -> TierStats:
+        """Fan-out and survival statistics for one tier."""
+        members = self.tier(name)
+        count = len(members)
+        if count == 0:
+            return TierStats(name, 0, 0, 0, 0.0, 0, 0.0)
+        alive = sum(1 for e in members if e.alive)
+        effective = sum(1 for e in members if e.effective_alive())
+        dependents = [len(e.dependents) for e in members]
+        dependencies = [len(e.depends_on) for e in members]
+        return TierStats(
+            tier=name,
+            count=count,
+            alive=alive,
+            effectively_alive=effective,
+            mean_dependents=sum(dependents) / count,
+            max_dependents=max(dependents),
+            mean_dependencies=sum(dependencies) / count,
+        )
+
+    def all_stats(self) -> Dict[str, TierStats]:
+        """Statistics for every tier in Figure 1 order."""
+        return {name: self.tier_stats(name) for name in TIER_ORDER}
+
+    def reachable_devices(self) -> List[Entity]:
+        """Devices whose data can currently reach the top of the hierarchy."""
+        return [e for e in self.tier("device") if e.effective_alive()]
+
+    def stranded_devices(self) -> List[Entity]:
+        """Devices that are alive but cut off by upstream failures.
+
+        These are the paper's core concern: functional hardware rendered
+        useless by the loss of supporting infrastructure.
+        """
+        return [
+            e for e in self.tier("device") if e.alive and not e.effective_alive()
+        ]
+
+    def blast_radius(self, entity: Entity) -> List[Entity]:
+        """Devices that would lose service if ``entity`` went dark *now*.
+
+        Computed by hypothetically marking ``entity`` failed and checking
+        which currently-reachable devices become unreachable.  The higher
+        in the hierarchy, the larger the radius — the quantitative form
+        of Figure 1's "lifetime variability" arrow.
+        """
+        before = {e.name for e in self.reachable_devices()}
+        saved_state = entity.state
+        from .entity import EntityState
+
+        entity.state = EntityState.FAILED
+        try:
+            after = {e.name for e in self.reachable_devices()}
+        finally:
+            entity.state = saved_state
+        lost = before - after
+        return [e for e in self.tier("device") if e.name in lost]
+
+    def describe(self) -> str:
+        """Multi-line textual rendering of the current hierarchy state."""
+        lines = ["tier        count  alive  reach  dep/ent  fanout(max)"]
+        for name in TIER_ORDER:
+            s = self.tier_stats(name)
+            lines.append(
+                f"{name:<10} {s.count:>6} {s.alive:>6} {s.effectively_alive:>6}"
+                f" {s.mean_dependencies:>8.2f} {s.mean_dependents:>7.1f}"
+                f" ({s.max_dependents})"
+            )
+        return "\n".join(lines)
+
+
+def wire_by_fanout(
+    devices: Sequence[Entity],
+    gateways: Sequence[Entity],
+    redundancy: int = 1,
+) -> None:
+    """Attach each device to ``redundancy`` gateways, round-robin.
+
+    A structural helper for synthetic hierarchies; radio-coverage-based
+    association lives in :mod:`repro.net.topology`.
+    """
+    if not gateways:
+        raise ValueError("cannot wire devices to an empty gateway set")
+    if redundancy < 1:
+        raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+    redundancy = min(redundancy, len(gateways))
+    for index, device in enumerate(devices):
+        for k in range(redundancy):
+            gateway = gateways[(index + k) % len(gateways)]
+            device.add_dependency(gateway)

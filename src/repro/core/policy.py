@@ -1,0 +1,114 @@
+"""Deployment policies encoding the paper's takeaways.
+
+Each takeaway in §3 is a testable policy choice.  This module names them
+as first-class objects so scenario code and the policy-ablation bench
+(E13) can toggle each one and measure its effect:
+
+* ``AttachmentPolicy`` — "Devices should rely on properties of
+  infrastructure, but not specific instances of infrastructure."
+* ``GatewayRole`` — "Gateways should primarily act only as routers."
+* ``InfrastructureOwnership`` — "Stakeholders ... should reserve the
+  option of vertical integration."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AttachmentPolicy(enum.Enum):
+    """How a device binds to the gateway layer."""
+
+    #: Device speaks a standard protocol; any compatible in-range gateway
+    #: can forward it.  The takeaway-compliant choice.
+    ANY_COMPATIBLE = "any-compatible"
+
+    #: Device is vendor-locked / authenticated to one specific gateway
+    #: instance; it is stranded the moment that instance goes dark.
+    INSTANCE_BOUND = "instance-bound"
+
+
+class GatewayRole(enum.Enum):
+    """What the gateway layer is responsible for."""
+
+    #: Forward packets only, defer decisions to other system components.
+    ROUTER_ONLY = "router-only"
+
+    #: Gateway holds per-device connection keys and application logic
+    #: (the traffic-light closed-loop-control case); replacing it
+    #: requires re-commissioning every attached device.
+    STATEFUL_CONTROLLER = "stateful-controller"
+
+
+class InfrastructureOwnership(enum.Enum):
+    """Who operates gateways and backhaul for a deployment."""
+
+    OWNED = "owned"              # vertical integration from day one
+    THIRD_PARTY = "third-party"  # rely entirely on commercial service
+    HEDGED = "hedged"            # third-party now, option to self-deploy
+                                 # later (the Helium semi-federated bet)
+
+
+@dataclass(frozen=True)
+class DeploymentPolicy:
+    """A bundle of the three policy axes for one scenario.
+
+    ``takeaway_compliant()`` is the configuration the paper recommends;
+    ``worst_practice()`` is the configuration the paper warns against.
+    """
+
+    attachment: AttachmentPolicy = AttachmentPolicy.ANY_COMPATIBLE
+    gateway_role: GatewayRole = GatewayRole.ROUTER_ONLY
+    ownership: InfrastructureOwnership = InfrastructureOwnership.HEDGED
+
+    @staticmethod
+    def takeaway_compliant() -> "DeploymentPolicy":
+        """The configuration §3's takeaways recommend."""
+        return DeploymentPolicy(
+            attachment=AttachmentPolicy.ANY_COMPATIBLE,
+            gateway_role=GatewayRole.ROUTER_ONLY,
+            ownership=InfrastructureOwnership.HEDGED,
+        )
+
+    @staticmethod
+    def worst_practice() -> "DeploymentPolicy":
+        """Vendor lock-in at every layer — the cautionary baseline."""
+        return DeploymentPolicy(
+            attachment=AttachmentPolicy.INSTANCE_BOUND,
+            gateway_role=GatewayRole.STATEFUL_CONTROLLER,
+            ownership=InfrastructureOwnership.THIRD_PARTY,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"attachment={self.attachment.value}, "
+            f"gateway={self.gateway_role.value}, "
+            f"ownership={self.ownership.value}"
+        )
+
+    @property
+    def devices_rehome(self) -> bool:
+        """Can devices migrate to another live gateway without touch?"""
+        return self.attachment is AttachmentPolicy.ANY_COMPATIBLE
+
+    @property
+    def gateway_swap_cost_factor(self) -> float:
+        """Relative cost of replacing a gateway under this policy.
+
+        Router-only gateways swap for 1x; stateful controllers require
+        re-keying every attached device, modelled as a 4x multiplier
+        (truck roll + per-device commissioning effort).
+        """
+        if self.gateway_role is GatewayRole.ROUTER_ONLY:
+            return 1.0
+        return 4.0
+
+    @property
+    def can_self_deploy_infrastructure(self) -> bool:
+        """Whether the stakeholder retains the vertical-integration option."""
+        return self.ownership in (
+            InfrastructureOwnership.OWNED,
+            InfrastructureOwnership.HEDGED,
+        )

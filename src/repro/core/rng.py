@@ -1,0 +1,67 @@
+"""Deterministic, named random-number streams.
+
+Long-horizon Monte-Carlo studies need reproducibility *and* stream
+independence: adding a new stochastic subsystem must not perturb the draw
+sequence of existing ones.  ``RandomStreams`` derives one independent
+``numpy.random.Generator`` per (seed, name) pair using ``SeedSequence``
+spawning keyed by a stable hash of the stream name.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator
+
+import numpy as np
+
+
+class RandomStreams:
+    """A family of independent, reproducible random generators.
+
+    Each named stream is seeded from the root seed combined with a CRC32
+    of the stream name, so the stream a subsystem sees depends only on
+    the root seed and its own name — never on which other subsystems
+    exist or the order in which they were created.
+
+    >>> streams = RandomStreams(seed=42)
+    >>> a = streams.get("devices").random()
+    >>> b = RandomStreams(seed=42).get("devices").random()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        generator = self._streams.get(name)
+        if generator is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            sequence = np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+            generator = np.random.default_rng(sequence)
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, index: int) -> "RandomStreams":
+        """Derive a distinct stream family, e.g. one per Monte-Carlo run.
+
+        Forked families are decorrelated from the parent and from each
+        other by mixing the fork index into the root seed.
+        """
+        if index < 0:
+            raise ValueError(f"fork index must be non-negative, got {index}")
+        mixed = zlib.crc32(f"fork:{self.seed}:{index}".encode("utf-8"))
+        return RandomStreams(seed=mixed)
+
+    def names(self) -> Iterator[str]:
+        """Iterate over the names of streams created so far."""
+        return iter(sorted(self._streams))
+
+    def __repr__(self) -> str:
+        return f"RandomStreams(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,132 @@
+"""Time, energy, and data-size units used throughout centurysim.
+
+All simulation state is kept in SI base units:
+
+* time — seconds (``float``)
+* energy — joules
+* power — watts
+* data — bytes
+
+These helpers exist so that call sites read in the units the paper uses
+("50 months", "one packet every one hour for 50 years") while the engine
+stays unit-consistent.  A year is the Julian year (365.25 days), which is
+the convention used for long-horizon service-life arithmetic.
+"""
+
+from __future__ import annotations
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+WEEK: float = 7.0 * DAY
+MONTH: float = 365.25 / 12.0 * DAY
+YEAR: float = 365.25 * DAY
+
+
+def seconds(value: float) -> float:
+    """Identity helper; lets call sites state units explicitly."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value) * MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return float(value) * HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return float(value) * DAY
+
+
+def weeks(value: float) -> float:
+    """Convert weeks to seconds."""
+    return float(value) * WEEK
+
+
+def months(value: float) -> float:
+    """Convert mean Julian months (30.4375 days) to seconds."""
+    return float(value) * MONTH
+
+
+def years(value: float) -> float:
+    """Convert Julian years (365.25 days) to seconds."""
+    return float(value) * YEAR
+
+
+def as_hours(t: float) -> float:
+    """Convert seconds to hours."""
+    return t / HOUR
+
+
+def as_days(t: float) -> float:
+    """Convert seconds to days."""
+    return t / DAY
+
+
+def as_weeks(t: float) -> float:
+    """Convert seconds to weeks."""
+    return t / WEEK
+
+
+def as_months(t: float) -> float:
+    """Convert seconds to mean months."""
+    return t / MONTH
+
+
+def as_years(t: float) -> float:
+    """Convert seconds to Julian years."""
+    return t / YEAR
+
+
+# Energy.
+JOULE: float = 1.0
+MILLIJOULE: float = 1e-3
+MICROJOULE: float = 1e-6
+WATT_HOUR: float = 3600.0
+
+
+def watt_hours(value: float) -> float:
+    """Convert watt-hours to joules."""
+    return float(value) * WATT_HOUR
+
+
+def milliamp_hours(value: float, volts: float) -> float:
+    """Convert a battery capacity in mAh at ``volts`` to joules."""
+    if volts <= 0.0:
+        raise ValueError(f"volts must be positive, got {volts}")
+    return float(value) * 1e-3 * volts * 3600.0
+
+
+# Data sizes.
+BYTE: int = 1
+KILOBYTE: int = 1000
+MEGABYTE: int = 1000 * 1000
+
+
+def format_duration(t: float) -> str:
+    """Render a duration in seconds as a short human-readable string.
+
+    >>> format_duration(90.0)
+    '1.5min'
+    >>> format_duration(86400.0 * 730.5)
+    '2.00yr'
+    """
+    if t < 0.0:
+        return "-" + format_duration(-t)
+    if t < MINUTE:
+        return f"{t:.3g}s"
+    if t < HOUR:
+        return f"{t / MINUTE:.3g}min"
+    if t < DAY:
+        return f"{t / HOUR:.3g}h"
+    if t < 2.0 * WEEK:
+        return f"{t / DAY:.3g}d"
+    if t < YEAR:
+        return f"{t / WEEK:.3g}wk"
+    return f"{t / YEAR:.2f}yr"

@@ -1,0 +1,58 @@
+"""Economics: deployment costs, backhaul TCO, tipping point, credits."""
+
+from .backhaul_tco import (
+    CellularCosts,
+    FiberCosts,
+    TcoPoint,
+    crossover_year,
+    tco_series,
+)
+from .costs import AmortizationSchedule, CostParameters, present_value
+from .credits import (
+    PAPER_HOURS_PER_YEAR,
+    PrepayQuote,
+    cost_per_device_per_year,
+    fleet_prepay_usd,
+    paper_credit_count,
+    paper_prepay_quote,
+)
+from .lifecycle import (
+    DeviceStrategy,
+    LifecycleCost,
+    breakeven_premium,
+    strategy_cost,
+)
+from .sharing import (
+    SharingComparison,
+    compare_sharing,
+    coverage_fraction,
+    gateways_for_coverage,
+)
+from .tipping import TippingDecision, TippingPointAnalysis
+
+__all__ = [
+    "CellularCosts",
+    "FiberCosts",
+    "TcoPoint",
+    "crossover_year",
+    "tco_series",
+    "AmortizationSchedule",
+    "CostParameters",
+    "present_value",
+    "PAPER_HOURS_PER_YEAR",
+    "PrepayQuote",
+    "cost_per_device_per_year",
+    "fleet_prepay_usd",
+    "paper_credit_count",
+    "paper_prepay_quote",
+    "DeviceStrategy",
+    "LifecycleCost",
+    "breakeven_premium",
+    "strategy_cost",
+    "SharingComparison",
+    "compare_sharing",
+    "coverage_fraction",
+    "gateways_for_coverage",
+    "TippingDecision",
+    "TippingPointAnalysis",
+]

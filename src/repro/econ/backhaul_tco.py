@@ -1,0 +1,148 @@
+"""Total-cost-of-ownership comparison: fiber vs cellular backhaul (§3.3).
+
+Fiber is capex-heavy (trenching) with tiny opex and no sunset; cellular
+is capex-free but pays a per-gateway subscription forever *and* forces a
+re-deployment at every generation sunset.  The TCO curves cross — where
+they cross, and how trench-sharing moves the crossing, is experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FiberCosts:
+    """Fiber build for a gateway constellation.
+
+    ``trench_share`` is the fraction of trenching cost actually borne by
+    the sensing programme — the §3.3.1 amortization: municipalities
+    coordinate digs with road works, and capacity is resold (community
+    WiFi, business service) to offset cost.
+    """
+
+    trench_usd_per_km: float = 50_000.0
+    km_per_gateway: float = 0.3   # urban gateways sit near existing conduit
+    terminal_usd_per_gateway: float = 1_500.0
+    opex_usd_per_gateway_year: float = 120.0
+    transceiver_refresh_years: float = 12.0
+    transceiver_usd: float = 600.0
+    trench_share: float = 0.5     # coordinated digs split the trench (§3.3.1)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trench_share <= 1.0:
+            raise ValueError("trench_share must be in (0, 1]")
+
+    def capex(self, gateways: int) -> float:
+        """Up-front build cost."""
+        if gateways < 0:
+            raise ValueError("gateways must be non-negative")
+        trench = self.trench_usd_per_km * self.km_per_gateway * self.trench_share
+        return gateways * (trench + self.terminal_usd_per_gateway)
+
+    def cumulative(self, gateways: int, years: float) -> float:
+        """Total spend from build-out through ``years`` of operation.
+
+        Transceiver refreshes land every ``transceiver_refresh_years``;
+        "fiber optic cable capacity depends more on the end transceiver
+        equipment than the actual fiber itself" — the glass never needs
+        replacing.
+        """
+        if years < 0.0:
+            raise ValueError("years must be non-negative")
+        refreshes = int(years // self.transceiver_refresh_years)
+        return (
+            self.capex(gateways)
+            + gateways * self.opex_usd_per_gateway_year * years
+            + gateways * refreshes * self.transceiver_usd
+        )
+
+
+@dataclass(frozen=True)
+class CellularCosts:
+    """Carrier-subscription backhaul for a gateway constellation.
+
+    Every ``sunset_interval_years`` the serving generation is retired
+    and each gateway needs a modem swap (hardware + truck roll).
+    """
+
+    modem_usd_per_gateway: float = 250.0
+    subscription_usd_per_gateway_year: float = 600.0  # ~$50/mo municipal IoT plan
+    sunset_interval_years: float = 18.0
+    sunset_swap_usd_per_gateway: float = 430.0  # new modem + visit
+
+    def capex(self, gateways: int) -> float:
+        """Up-front cost (modems only; towers are the carrier's)."""
+        if gateways < 0:
+            raise ValueError("gateways must be non-negative")
+        return gateways * self.modem_usd_per_gateway
+
+    def cumulative(self, gateways: int, years: float) -> float:
+        """Total spend through ``years`` of operation, sunsets included."""
+        if years < 0.0:
+            raise ValueError("years must be non-negative")
+        sunsets = int(years // self.sunset_interval_years)
+        return (
+            self.capex(gateways)
+            + gateways * self.subscription_usd_per_gateway_year * years
+            + gateways * sunsets * self.sunset_swap_usd_per_gateway
+        )
+
+
+@dataclass(frozen=True)
+class TcoPoint:
+    """One row of the TCO comparison series."""
+
+    years: float
+    fiber_usd: float
+    cellular_usd: float
+
+    @property
+    def fiber_wins(self) -> bool:
+        """True once fiber's cumulative cost is lower."""
+        return self.fiber_usd < self.cellular_usd
+
+
+def tco_series(
+    gateways: int,
+    horizon_years: float = 50.0,
+    step_years: float = 1.0,
+    fiber: FiberCosts = FiberCosts(),
+    cellular: CellularCosts = CellularCosts(),
+) -> List[TcoPoint]:
+    """Cumulative-cost series for both technologies over the horizon."""
+    if gateways <= 0:
+        raise ValueError("gateways must be positive")
+    if horizon_years <= 0.0 or step_years <= 0.0:
+        raise ValueError("horizon_years and step_years must be positive")
+    points = []
+    for years in np.arange(0.0, horizon_years + step_years, step_years):
+        points.append(
+            TcoPoint(
+                years=float(years),
+                fiber_usd=fiber.cumulative(gateways, float(years)),
+                cellular_usd=cellular.cumulative(gateways, float(years)),
+            )
+        )
+    return points
+
+
+def crossover_year(
+    gateways: int,
+    horizon_years: float = 50.0,
+    fiber: FiberCosts = FiberCosts(),
+    cellular: CellularCosts = CellularCosts(),
+) -> float:
+    """First year at which fiber's cumulative TCO beats cellular's.
+
+    Returns ``inf`` if fiber never wins inside the horizon (e.g. tiny
+    constellations where trenching can't amortize).
+    """
+    points = tco_series(gateways, horizon_years, step_years=0.25, fiber=fiber, cellular=cellular)
+    for point in points:
+        if point.years > 0.0 and point.fiber_wins:
+            return point.years
+    return float("inf")

@@ -1,0 +1,118 @@
+"""Deployment cost accounting: capex, opex, and truck-roll labor.
+
+§2's observation — "the cost for deployment for even a few thousand
+sensors can range into millions of dollars" — and §1's replacement-labor
+arithmetic both reduce to a small set of per-unit cost parameters swept
+by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reliability.maintenance import PAPER_REPLACEMENT_MINUTES
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Unit economics for one deployment programme.
+
+    Defaults are calibrated so a 3,300-sensor deployment (San Diego's
+    §2 scale) lands in the low millions of dollars, matching the
+    paper's "can range into millions".
+    """
+
+    device_hardware_usd: float = 150.0
+    device_install_usd: float = 450.0       # lift truck, traffic control, labor
+    gateway_hardware_usd: float = 900.0
+    gateway_install_usd: float = 2_500.0
+    labor_usd_per_hour: float = 95.0
+    truck_roll_usd: float = 180.0           # fixed cost of any site visit
+    replacement_minutes: float = PAPER_REPLACEMENT_MINUTES
+
+    def __post_init__(self) -> None:
+        for name in (
+            "device_hardware_usd",
+            "device_install_usd",
+            "gateway_hardware_usd",
+            "gateway_install_usd",
+            "labor_usd_per_hour",
+            "truck_roll_usd",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.replacement_minutes <= 0.0:
+            raise ValueError("replacement_minutes must be positive")
+
+    def initial_deployment_usd(self, devices: int, gateways: int) -> float:
+        """Capex to stand up a deployment."""
+        if devices < 0 or gateways < 0:
+            raise ValueError("counts must be non-negative")
+        return devices * (self.device_hardware_usd + self.device_install_usd) + gateways * (
+            self.gateway_hardware_usd + self.gateway_install_usd
+        )
+
+    def device_replacement_usd(self) -> float:
+        """All-in cost of swapping one failed device."""
+        labor = self.labor_usd_per_hour * self.replacement_minutes / 60.0
+        return self.device_hardware_usd + self.truck_roll_usd + labor
+
+    def fleet_replacement_usd(self, devices: int) -> float:
+        """Cost of replacing an entire fleet once (the §3.4 lock-in
+        quantity: as fleets grow, so does the cost of replacing them)."""
+        return devices * self.device_replacement_usd()
+
+    def fleet_replacement_person_hours(self, devices: int) -> float:
+        """Person-hours to replace the fleet, per the §1 arithmetic."""
+        return devices * self.replacement_minutes / 60.0
+
+    def annual_maintenance_usd(
+        self, devices: int, device_mtbf_years: float
+    ) -> float:
+        """Steady-state annual replacement spend for a maintained fleet."""
+        if device_mtbf_years <= 0.0:
+            raise ValueError("device_mtbf_years must be positive")
+        failures_per_year = devices / device_mtbf_years
+        return failures_per_year * self.device_replacement_usd()
+
+
+@dataclass(frozen=True)
+class AmortizationSchedule:
+    """Straight-line amortization of a capex over a service life."""
+
+    capex_usd: float
+    service_life_years: float
+
+    def __post_init__(self) -> None:
+        if self.capex_usd < 0.0:
+            raise ValueError("capex_usd must be non-negative")
+        if self.service_life_years <= 0.0:
+            raise ValueError("service_life_years must be positive")
+
+    @property
+    def annual_usd(self) -> float:
+        """Annual amortized cost."""
+        return self.capex_usd / self.service_life_years
+
+    def remaining_value(self, age_years: float) -> float:
+        """Book value after ``age_years``."""
+        if age_years < 0.0:
+            raise ValueError("age_years must be non-negative")
+        remaining = 1.0 - age_years / self.service_life_years
+        return self.capex_usd * max(0.0, remaining)
+
+
+def present_value(annual_usd: float, years: float, discount_rate: float = 0.03) -> float:
+    """PV of a constant annual cost stream over ``years``.
+
+    Municipal planning horizon arithmetic; continuous-compounding form.
+    """
+    if years < 0.0:
+        raise ValueError("years must be non-negative")
+    if discount_rate < 0.0:
+        raise ValueError("discount_rate must be non-negative")
+    if discount_rate == 0.0:
+        return annual_usd * years
+    import math
+
+    return annual_usd * (1.0 - math.exp(-discount_rate * years)) / discount_rate

@@ -1,0 +1,128 @@
+"""Lifecycle ROI: when do long-lived devices pay for themselves?
+
+§1: the infrastructure promise "invites investment for functional
+obsolescence ... which maximizes device utility and return on
+investment over time."  The concrete question for a planner: harvesting
+hardware costs more per unit — at what premium does it still beat cheap
+battery devices over a long horizon, once replacement truck rolls are
+counted?
+
+``strategy_cost`` prices one sensing point over a horizon under a
+renewal process (device fails → truck roll → replacement), optionally
+discounted; :func:`breakeven_premium` solves for the unit-price ratio at
+which the two strategies cost the same.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .costs import CostParameters
+
+
+@dataclass(frozen=True)
+class DeviceStrategy:
+    """One way to keep a sensing point alive."""
+
+    name: str
+    unit_cost_usd: float
+    mean_lifetime_years: float
+    install_usd: float = 450.0
+
+    def __post_init__(self) -> None:
+        if self.unit_cost_usd < 0.0:
+            raise ValueError("unit_cost_usd must be non-negative")
+        if self.mean_lifetime_years <= 0.0:
+            raise ValueError("mean_lifetime_years must be positive")
+
+
+@dataclass(frozen=True)
+class LifecycleCost:
+    """Cost summary for one strategy over one horizon."""
+
+    strategy: str
+    horizon_years: float
+    expected_replacements: float
+    total_usd: float
+    usd_per_sensing_year: float
+
+
+def strategy_cost(
+    strategy: DeviceStrategy,
+    horizon_years: float,
+    costs: CostParameters = CostParameters(),
+    discount_rate: float = 0.0,
+) -> LifecycleCost:
+    """Expected cost of keeping one sensing point alive for the horizon.
+
+    Renewal-theory approximation: replacements arrive at rate
+    ``1/mean_lifetime``; each costs the unit price plus a truck roll and
+    labor.  With a discount rate, replacement spend at time t is scaled
+    by ``exp(-r t)`` (continuous discounting of a constant-rate stream).
+    """
+    if horizon_years <= 0.0:
+        raise ValueError("horizon_years must be positive")
+    if discount_rate < 0.0:
+        raise ValueError("discount_rate must be non-negative")
+    rate_per_year = 1.0 / strategy.mean_lifetime_years
+    replacements = max(0.0, horizon_years * rate_per_year - 1.0)
+    swap_cost = (
+        strategy.unit_cost_usd
+        + costs.truck_roll_usd
+        + costs.labor_usd_per_hour * costs.replacement_minutes / 60.0
+    )
+    if discount_rate == 0.0:
+        replacement_spend = replacements * swap_cost
+    else:
+        # PV of a constant spend stream rate*swap_cost over the horizon,
+        # net of the initial install which is paid at t=0.
+        stream = rate_per_year * swap_cost
+        replacement_spend = (
+            stream * (1.0 - math.exp(-discount_rate * horizon_years)) / discount_rate
+        )
+        replacement_spend = max(0.0, replacement_spend - swap_cost)
+    initial = strategy.unit_cost_usd + strategy.install_usd
+    total = initial + replacement_spend
+    return LifecycleCost(
+        strategy=strategy.name,
+        horizon_years=horizon_years,
+        expected_replacements=replacements,
+        total_usd=total,
+        usd_per_sensing_year=total / horizon_years,
+    )
+
+
+def breakeven_premium(
+    battery: DeviceStrategy,
+    harvesting_lifetime_years: float,
+    horizon_years: float,
+    costs: CostParameters = CostParameters(),
+) -> float:
+    """Unit-price ratio at which a long-lived device matches the cheap one.
+
+    Solves for the harvesting unit cost whose lifecycle cost equals the
+    battery strategy's, returned as a multiple of the battery unit cost.
+    A result of e.g. 4.0 means planners can pay 4x per unit for
+    harvesting hardware and still break even over the horizon — §1's
+    ROI argument in one number.
+    """
+    if harvesting_lifetime_years <= 0.0:
+        raise ValueError("harvesting_lifetime_years must be positive")
+    target = strategy_cost(battery, horizon_years, costs).total_usd
+    lo, hi = 0.0, 10_000.0 * max(battery.unit_cost_usd, 1.0)
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        candidate = DeviceStrategy(
+            name="harvesting",
+            unit_cost_usd=mid,
+            mean_lifetime_years=harvesting_lifetime_years,
+            install_usd=battery.install_usd,
+        )
+        if strategy_cost(candidate, horizon_years, costs).total_usd < target:
+            lo = mid
+        else:
+            hi = mid
+    if battery.unit_cost_usd == 0.0:
+        return float("inf")
+    return 0.5 * (lo + hi) / battery.unit_cost_usd

@@ -1,0 +1,108 @@
+"""Gateway sharing economics and coverage (§3.2).
+
+"Manufacturers often lock down their software ecosystem, so that their
+sensors can only work with their specific gateways.  Consequently,
+today's cities end up containing several ad-hoc wireless systems that
+are redundant (e.g. co-located 802.15.4 gateways that serve devices
+from different manufacturers)."
+
+Boolean (Poisson) coverage model: gateways dropped at density λ each
+cover a disc of radius R; the covered fraction is ``1 - exp(-λπR²)``.
+Under vendor silos each vendor's devices see only that vendor's
+gateways; with open gateways every device sees all of them.  Sharing
+therefore converts the *same* hardware spend into exponentially better
+coverage — or, dually, hits a coverage target with ``1/V`` the
+gateways.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .costs import CostParameters
+
+
+def coverage_fraction(gateways: int, area_km2: float, radius_m: float) -> float:
+    """Boolean-model covered fraction for randomly-placed gateways.
+
+    >>> round(coverage_fraction(100, 10.0, 200.0), 2)
+    0.72
+    """
+    if gateways < 0:
+        raise ValueError("gateways must be non-negative")
+    if area_km2 <= 0.0:
+        raise ValueError("area_km2 must be positive")
+    if radius_m <= 0.0:
+        raise ValueError("radius_m must be positive")
+    disc_km2 = math.pi * (radius_m / 1000.0) ** 2
+    return 1.0 - math.exp(-gateways * disc_km2 / area_km2)
+
+
+def gateways_for_coverage(
+    target: float, area_km2: float, radius_m: float
+) -> int:
+    """Gateways needed to cover ``target`` of the area.
+
+    Inverts the Boolean model: ``n = -ln(1-target) * A / (pi R^2)``.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    disc_km2 = math.pi * (radius_m / 1000.0) ** 2
+    return math.ceil(-math.log(1.0 - target) * area_km2 / disc_km2)
+
+
+@dataclass(frozen=True)
+class SharingComparison:
+    """Vendor-siloed vs open gateway deployment at the same target."""
+
+    vendors: int
+    target_coverage: float
+    gateways_siloed: int        # every vendor builds its own layer
+    gateways_shared: int        # one open layer serves everyone
+    capex_siloed_usd: float
+    capex_shared_usd: float
+
+    @property
+    def hardware_saving(self) -> float:
+        """Fractional gateway-count saving from sharing."""
+        if self.gateways_siloed == 0:
+            return 0.0
+        return 1.0 - self.gateways_shared / self.gateways_siloed
+
+    @property
+    def coverage_if_pooled(self) -> float:
+        """What the siloed hardware would cover if opened up.
+
+        The §3.2 dual: keep the spend, multiply the coverage odds.
+        """
+        return 1.0 - (1.0 - self.target_coverage) ** self.vendors
+
+
+def compare_sharing(
+    vendors: int,
+    target_coverage: float = 0.95,
+    area_km2: float = 50.0,
+    radius_m: float = 300.0,
+    costs: CostParameters = CostParameters(),
+) -> SharingComparison:
+    """Cost a city's gateway layer with and without vendor silos.
+
+    Each of ``vendors`` ecosystems must independently hit
+    ``target_coverage`` for its own devices in the siloed world; one
+    open layer suffices in the shared world.
+    """
+    if vendors < 1:
+        raise ValueError("vendors must be >= 1")
+    per_layer = gateways_for_coverage(target_coverage, area_km2, radius_m)
+    siloed = vendors * per_layer
+    shared = per_layer
+    unit = costs.gateway_hardware_usd + costs.gateway_install_usd
+    return SharingComparison(
+        vendors=vendors,
+        target_coverage=target_coverage,
+        gateways_siloed=siloed,
+        gateways_shared=shared,
+        capex_siloed_usd=siloed * unit,
+        capex_shared_usd=shared * unit,
+    )

@@ -1,0 +1,110 @@
+"""The vertical-integration tipping point (§3.4).
+
+"As the number of deployed devices grows, so does the cost of replacing
+them ... there will always be a tipping point where the cost of
+deploying vertically owned and managed infrastructure is lower than the
+cost of replacing devices."
+
+We formalize the §3.4 decision: when third-party infrastructure
+obsoletes (sunset/shutdown), a stakeholder either (a) replaces every
+device to chase new infrastructure, or (b) deploys owned gateways +
+backhaul that keep the existing devices alive.  The tipping point is the
+fleet size where (b) becomes cheaper — provided the devices *can*
+re-home, which is exactly what the takeaway policies buy you.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.policy import DeploymentPolicy
+from .backhaul_tco import FiberCosts
+from .costs import CostParameters
+
+
+@dataclass(frozen=True)
+class TippingPointAnalysis:
+    """Inputs for the replace-devices vs own-infrastructure decision."""
+
+    costs: CostParameters = CostParameters()
+    fiber: FiberCosts = FiberCosts()
+    devices_per_gateway: int = 250
+    remaining_service_years: float = 10.0  # how long the fleet is still useful
+    owned_opex_years: float = 10.0         # ops window to cost the owned option
+
+    def gateways_needed(self, fleet_size: int) -> int:
+        """Owned gateways required to cover the fleet."""
+        if fleet_size <= 0:
+            raise ValueError("fleet_size must be positive")
+        return -(-fleet_size // self.devices_per_gateway)  # ceil division
+
+    def replace_devices_usd(self, fleet_size: int) -> float:
+        """Option (a): obsolete the fleet, deploy replacements that speak
+        the new third-party infrastructure."""
+        return self.costs.fleet_replacement_usd(fleet_size)
+
+    def own_infrastructure_usd(self, fleet_size: int, policy: DeploymentPolicy) -> float:
+        """Option (b): stand up owned gateways + backhaul for the fleet.
+
+        Only available if devices can re-home (attachment policy) and the
+        stakeholder kept the option (ownership policy); otherwise the
+        cost is infinite — the fleet is simply stranded.  Stateful
+        gateways multiply commissioning labor per the policy's factor.
+        """
+        if not (policy.devices_rehome and policy.can_self_deploy_infrastructure):
+            return float("inf")
+        gateways = self.gateways_needed(fleet_size)
+        build = gateways * (
+            self.costs.gateway_hardware_usd + self.costs.gateway_install_usd
+        ) * policy.gateway_swap_cost_factor
+        backhaul = self.fiber.cumulative(gateways, self.owned_opex_years)
+        return build + backhaul
+
+    def tipping_point(
+        self, policy: DeploymentPolicy, max_fleet: int = 2_000_000
+    ) -> int:
+        """Smallest fleet size where owning beats replacing.
+
+        Returns ``max_fleet + 1`` if owning never wins in range (e.g.
+        the policy forecloses it).
+        """
+        if self.own_infrastructure_usd(max_fleet, policy) == float("inf"):
+            return max_fleet + 1
+        lo, hi = 1, max_fleet
+        if self.own_infrastructure_usd(lo, policy) <= self.replace_devices_usd(lo):
+            return lo
+        if self.own_infrastructure_usd(hi, policy) > self.replace_devices_usd(hi):
+            return max_fleet + 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.own_infrastructure_usd(mid, policy) <= self.replace_devices_usd(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def decision(self, fleet_size: int, policy: DeploymentPolicy) -> "TippingDecision":
+        """Full comparison row for one fleet size."""
+        replace = self.replace_devices_usd(fleet_size)
+        own = self.own_infrastructure_usd(fleet_size, policy)
+        return TippingDecision(
+            fleet_size=fleet_size,
+            replace_usd=replace,
+            own_usd=own,
+            should_own=own <= replace,
+        )
+
+
+@dataclass(frozen=True)
+class TippingDecision:
+    """The outcome of the §3.4 decision at one fleet size."""
+
+    fleet_size: int
+    replace_usd: float
+    own_usd: float
+    should_own: bool
+
+    @property
+    def stranded(self) -> bool:
+        """True when policy foreclosed the owning option entirely."""
+        return self.own_usd == float("inf")

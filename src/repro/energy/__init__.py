@@ -1,0 +1,40 @@
+"""Energy substrate: harvest sources, storage, budgets, intermittency."""
+
+from .budget import (
+    EnergyBudgetReport,
+    TaskProfile,
+    budget_report,
+    energy_neutral,
+    storage_for_outage,
+    sustainable_interval,
+)
+from .harvester import DutyCycleResult, HarvestingSystem
+from .sources import (
+    CathodicProtectionSource,
+    EnergySource,
+    SolarSource,
+    ThermalGradientSource,
+    VibrationSource,
+    source_by_name,
+)
+from .storage import Battery, Capacitor, StorageError
+
+__all__ = [
+    "EnergyBudgetReport",
+    "TaskProfile",
+    "budget_report",
+    "energy_neutral",
+    "storage_for_outage",
+    "sustainable_interval",
+    "DutyCycleResult",
+    "HarvestingSystem",
+    "CathodicProtectionSource",
+    "EnergySource",
+    "SolarSource",
+    "ThermalGradientSource",
+    "VibrationSource",
+    "source_by_name",
+    "Battery",
+    "Capacitor",
+    "StorageError",
+]

@@ -1,0 +1,129 @@
+"""Energy budgeting for intermittent, transmit-only sensors.
+
+An energy-harvesting node is viable when harvest ≥ consumption over
+every charging interval.  ``TaskProfile`` describes what one duty cycle
+costs; :func:`sustainable_interval` solves for the fastest reporting
+rate a source can sustain; :func:`energy_neutral` checks the paper's
+"powers itself for literally as long as the structure lasts" condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import units
+from .sources import EnergySource
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """Energy cost of one sense-and-transmit duty cycle plus sleep floor.
+
+    Defaults approximate an 802.15.4 sensor node: ~1 µW sleep,
+    ~150 µJ to sample, and transmit energy paid per packet second at
+    ~60 mW radiated+overhead.
+    """
+
+    sleep_power_w: float = 1e-6
+    sample_energy_j: float = 150e-6
+    tx_power_w: float = 60e-3
+    startup_energy_j: float = 30e-6  # regulator/MCU boot after power loss
+
+    def __post_init__(self) -> None:
+        for name in ("sleep_power_w", "sample_energy_j", "tx_power_w", "startup_energy_j"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def cycle_energy(self, airtime_s: float) -> float:
+        """Energy for one wake → sample → transmit cycle."""
+        if airtime_s < 0.0:
+            raise ValueError(f"airtime_s must be non-negative, got {airtime_s}")
+        return self.sample_energy_j + self.tx_power_w * airtime_s
+
+    def mean_power(self, interval_s: float, airtime_s: float) -> float:
+        """Average power when reporting every ``interval_s`` seconds."""
+        if interval_s <= 0.0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        return self.sleep_power_w + self.cycle_energy(airtime_s) / interval_s
+
+
+def sustainable_interval(
+    source: EnergySource,
+    profile: TaskProfile,
+    airtime_s: float,
+    margin: float = 2.0,
+) -> float:
+    """Shortest reporting interval the source sustains with ``margin``.
+
+    Solves ``mean_power(interval) * margin == source.mean_power()`` for
+    the interval.  Returns ``inf`` if even the sleep floor exceeds the
+    harvest budget (the node is not viable at any rate).
+    """
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    budget = source.mean_power() / margin
+    surplus = budget - profile.sleep_power_w
+    if surplus <= 0.0:
+        return float("inf")
+    return profile.cycle_energy(airtime_s) / surplus
+
+
+def energy_neutral(
+    source: EnergySource,
+    profile: TaskProfile,
+    interval_s: float,
+    airtime_s: float,
+    margin: float = 1.0,
+) -> bool:
+    """True if reporting every ``interval_s`` is sustainable long-run."""
+    demand = profile.mean_power(interval_s, airtime_s)
+    return source.mean_power() >= demand * margin
+
+
+def storage_for_outage(
+    profile: TaskProfile,
+    interval_s: float,
+    airtime_s: float,
+    outage_s: float = units.days(3.0),
+) -> float:
+    """Storage (J) needed to ride out a harvest outage of ``outage_s``.
+
+    Sizes the capacitor so the node keeps its reporting schedule through
+    e.g. a cloudy spell (solar) or a maintenance power-down (cathodic).
+    """
+    if outage_s < 0.0:
+        raise ValueError(f"outage_s must be non-negative, got {outage_s}")
+    return profile.mean_power(interval_s, airtime_s) * outage_s
+
+
+@dataclass(frozen=True)
+class EnergyBudgetReport:
+    """Summary row for the energy-viability analysis of one design."""
+
+    source_name: str
+    harvest_uw: float
+    demand_uw: float
+    sustainable_interval_s: float
+    neutral_at_hourly: bool
+
+    @property
+    def viable(self) -> bool:
+        """Whether the design closes its energy budget at the chosen rate."""
+        return self.harvest_uw >= self.demand_uw
+
+
+def budget_report(
+    source_name: str,
+    source: EnergySource,
+    profile: TaskProfile,
+    airtime_s: float,
+    interval_s: float = units.HOUR,
+) -> EnergyBudgetReport:
+    """Build the benchmark row for one (source, profile) pairing."""
+    return EnergyBudgetReport(
+        source_name=source_name,
+        harvest_uw=source.mean_power() * 1e6,
+        demand_uw=profile.mean_power(interval_s, airtime_s) * 1e6,
+        sustainable_interval_s=sustainable_interval(source, profile, airtime_s),
+        neutral_at_hourly=energy_neutral(source, profile, units.HOUR, airtime_s),
+    )

@@ -1,0 +1,51 @@
+"""The §4 fifty-year experiment harness and canned scenarios."""
+
+from .fifty_year import (
+    ArmResult,
+    FiftyYearConfig,
+    FiftyYearExperiment,
+    FiftyYearResult,
+)
+from .succession import (
+    Custodian,
+    SuccessionConfig,
+    SuccessionModel,
+    expected_handoffs,
+)
+from .scenarios import (
+    SCENARIOS,
+    as_designed,
+    growing_fleet,
+    helium_only,
+    instance_bound,
+    monte_carlo_uptime,
+    network_collapse,
+    owned_only,
+    run_scenario,
+    staff_turnover,
+    underfunded_wallet,
+    unmaintained,
+)
+
+__all__ = [
+    "ArmResult",
+    "FiftyYearConfig",
+    "FiftyYearExperiment",
+    "FiftyYearResult",
+    "Custodian",
+    "SuccessionConfig",
+    "SuccessionModel",
+    "expected_handoffs",
+    "SCENARIOS",
+    "as_designed",
+    "growing_fleet",
+    "helium_only",
+    "instance_bound",
+    "monte_carlo_uptime",
+    "network_collapse",
+    "owned_only",
+    "run_scenario",
+    "staff_turnover",
+    "underfunded_wallet",
+    "unmaintained",
+]

@@ -1,0 +1,145 @@
+"""Experimenter succession over a 50-year study (§4.5).
+
+"It will also include a log of the experimenters, as the nature of a
+50-year experiment is such that those who start it will most likely be
+retired by the time it is complete!"
+
+Institutional memory is a failure mode like any other: each handoff
+loses context, and lost context turns routine upkeep (domain renewals,
+wallet top-ups, gateway spares) into misses.  ``SuccessionModel``
+generates the custodian timeline and an effective miss-probability that
+grows with handoffs — pluggable into the 50-year experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core import units
+
+
+@dataclass(frozen=True)
+class Custodian:
+    """One person-era of the experiment."""
+
+    name: str
+    starts_at: float
+    ends_at: float
+    generation: int
+
+    @property
+    def tenure_years(self) -> float:
+        """Years this custodian held the experiment."""
+        return units.as_years(self.ends_at - self.starts_at)
+
+
+@dataclass(frozen=True)
+class SuccessionConfig:
+    """Turnover and knowledge-decay parameters.
+
+    ``mean_tenure_years`` — academic custodians (PhD student → postdoc →
+    faculty career stage changes) turn over every handful of years.
+    ``handoff_retention`` — fraction of operational knowledge that
+    survives each handoff; documentation quality is the lever.
+    """
+
+    mean_tenure_years: float = 7.0
+    tenure_sigma: float = 0.4
+    handoff_retention: float = 0.85
+    base_miss_probability: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.mean_tenure_years <= 0.0:
+            raise ValueError("mean_tenure_years must be positive")
+        if not 0.0 < self.handoff_retention <= 1.0:
+            raise ValueError("handoff_retention must be in (0, 1]")
+        if not 0.0 <= self.base_miss_probability <= 1.0:
+            raise ValueError("base_miss_probability must be in [0, 1]")
+
+
+@dataclass
+class SuccessionModel:
+    """The custodian timeline for one experiment run."""
+
+    config: SuccessionConfig = field(default_factory=SuccessionConfig)
+    custodians: List[Custodian] = field(default_factory=list)
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> List[Custodian]:
+        """Sample the succession of custodians over ``horizon`` seconds."""
+        if horizon <= 0.0:
+            raise ValueError("horizon must be positive")
+        self.custodians = []
+        t = 0.0
+        generation = 0
+        while t < horizon:
+            tenure = float(
+                rng.lognormal(
+                    np.log(units.years(self.config.mean_tenure_years)),
+                    self.config.tenure_sigma,
+                )
+            )
+            end = min(t + tenure, horizon)
+            self.custodians.append(
+                Custodian(
+                    name=f"custodian-{generation + 1}",
+                    starts_at=t,
+                    ends_at=end,
+                    generation=generation,
+                )
+            )
+            t = end
+            generation += 1
+        return self.custodians
+
+    def custodian_at(self, t: float) -> Custodian:
+        """Who holds the experiment at time ``t``."""
+        if not self.custodians:
+            raise RuntimeError("call generate() first")
+        for custodian in self.custodians:
+            if custodian.starts_at <= t < custodian.ends_at:
+                return custodian
+        return self.custodians[-1]
+
+    def handoffs_by(self, t: float) -> int:
+        """Completed handoffs up to time ``t``."""
+        if not self.custodians:
+            raise RuntimeError("call generate() first")
+        return sum(1 for c in self.custodians if c.ends_at <= t)
+
+    def knowledge_at(self, t: float) -> float:
+        """Surviving operational knowledge at ``t`` (1.0 = founder era)."""
+        return self.config.handoff_retention ** self.handoffs_by(t)
+
+    def miss_probability_at(self, t: float) -> float:
+        """Chance a routine obligation is fumbled at time ``t``.
+
+        Scales inversely with surviving knowledge: a renewal the founder
+        would never miss becomes a coin-flip for custodian five with
+        poor documentation.
+        """
+        knowledge = self.knowledge_at(t)
+        if knowledge <= 0.0:
+            return 1.0
+        return min(1.0, self.config.base_miss_probability / knowledge)
+
+    def roster(self) -> List[str]:
+        """The §4.5 experimenter log."""
+        return [
+            f"{c.name}: years {units.as_years(c.starts_at):.1f}"
+            f"-{units.as_years(c.ends_at):.1f} ({c.tenure_years:.1f} yr)"
+            for c in self.custodians
+        ]
+
+
+def expected_handoffs(horizon_years: float, mean_tenure_years: float = 7.0) -> float:
+    """Back-of-envelope handoff count for a study of ``horizon_years``.
+
+    >>> expected_handoffs(50.0, 7.0) > 6.0
+    True
+    """
+    if horizon_years <= 0.0 or mean_tenure_years <= 0.0:
+        raise ValueError("years must be positive")
+    return horizon_years / mean_tenure_years

@@ -1,0 +1,82 @@
+"""Network layer: devices, gateways, backhauls, cloud endpoint, Helium."""
+
+from .backhaul import (
+    Backhaul,
+    CampusBackhaul,
+    CellularBackhaul,
+    FiberBackhaul,
+    OpaqueBackhaul,
+    OutageModel,
+)
+from .cloud import MAX_DOMAIN_LEASE, CloudEndpoint, UptimeReport
+from .device import EdgeDevice
+from .gateway import Gateway, OwnedGateway, ThirdPartyGateway, migrate_devices
+from .geometry import ORIGIN, Position, centroid, grid_positions, uniform_positions
+from .helium import (
+    PACKETS_50_YEARS_HOURLY,
+    USD_PER_CREDIT,
+    ChurnModel,
+    DataCreditWallet,
+    HeliumNetwork,
+    credits_for_schedule,
+)
+from .commissioning import (
+    CommissioningProfile,
+    CommissioningReport,
+    CommissioningStep,
+    StepOutcome,
+    commission_replacement,
+)
+from .topology import DeliverySummary, Network, associate_by_coverage
+from .trust import (
+    SCHEMES,
+    DeviceTrustRecord,
+    SigningScheme,
+    TrustLevel,
+    TrustPolicy,
+    TrustRegistry,
+    trust_horizon,
+)
+
+__all__ = [
+    "Backhaul",
+    "CampusBackhaul",
+    "CellularBackhaul",
+    "FiberBackhaul",
+    "OpaqueBackhaul",
+    "OutageModel",
+    "MAX_DOMAIN_LEASE",
+    "CloudEndpoint",
+    "UptimeReport",
+    "EdgeDevice",
+    "Gateway",
+    "OwnedGateway",
+    "ThirdPartyGateway",
+    "migrate_devices",
+    "ORIGIN",
+    "Position",
+    "centroid",
+    "grid_positions",
+    "uniform_positions",
+    "PACKETS_50_YEARS_HOURLY",
+    "USD_PER_CREDIT",
+    "ChurnModel",
+    "DataCreditWallet",
+    "HeliumNetwork",
+    "credits_for_schedule",
+    "CommissioningProfile",
+    "CommissioningReport",
+    "CommissioningStep",
+    "StepOutcome",
+    "commission_replacement",
+    "SCHEMES",
+    "DeviceTrustRecord",
+    "SigningScheme",
+    "TrustLevel",
+    "TrustPolicy",
+    "TrustRegistry",
+    "trust_horizon",
+    "DeliverySummary",
+    "Network",
+    "associate_by_coverage",
+]

@@ -1,0 +1,157 @@
+"""The backend data endpoint and the paper's end-to-end uptime metric.
+
+§4's top-level metric: "some data arrives at some interval of time up to
+once a week that is publicly accessible at centurysensors.com."
+``CloudEndpoint`` logs every delivery and evaluates weekly uptime; it
+also models the one *certain* maintenance event the paper calls out —
+the 10-year maximum domain lease — as a renewal that, if ever missed,
+takes the public page dark until re-registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import units
+from ..core.engine import Simulation
+from ..core.entity import Entity
+from ..radio.packets import DeliveryRecord, Packet
+
+#: ICANN's maximum registration period (§4.5, ref [18]).
+MAX_DOMAIN_LEASE: float = units.years(10.0)
+
+
+class CloudEndpoint(Entity):
+    """The data display webpage / collection endpoint.
+
+    ``renewal_miss_probability`` is the chance any given domain renewal
+    is fumbled (staff turnover over 50 years makes this non-zero); a
+    missed renewal causes an outage of ``renewal_recovery`` before
+    someone notices and re-registers.
+    """
+
+    TIER = "cloud"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str = "centurysensors.com",
+        renewal_miss_probability: float = 0.0,
+        renewal_recovery: float = units.days(30.0),
+    ) -> None:
+        super().__init__(sim, name)
+        if not 0.0 <= renewal_miss_probability <= 1.0:
+            raise ValueError("renewal_miss_probability must be in [0, 1]")
+        self.renewal_miss_probability = renewal_miss_probability
+        self.renewal_recovery = renewal_recovery
+        #: Optional override: a callable ``t -> miss probability`` used
+        #: instead of the constant, e.g. an experimenter-succession
+        #: model whose handoffs erode institutional memory (§4.5).
+        self.miss_probability_fn = None
+        self.deliveries: List[DeliveryRecord] = []
+        self.per_device_last: Dict[str, float] = {}
+        self.domain_up = True
+        self.domain_renewals = 0
+        self.missed_renewals = 0
+
+    def on_deploy(self) -> None:
+        self.sim.call_in(
+            MAX_DOMAIN_LEASE, self._domain_renewal, label=f"lease:{self.name}"
+        )
+
+    def _domain_renewal(self) -> None:
+        if not self.alive:
+            return
+        self.domain_renewals += 1
+        rng = self.sim.rng("domain-renewals")
+        miss_probability = self.renewal_miss_probability
+        if self.miss_probability_fn is not None:
+            miss_probability = float(self.miss_probability_fn(self.sim.now))
+        if rng.random() < miss_probability:
+            self.missed_renewals += 1
+            self.domain_up = False
+            self.sim.record("domain-lapse", self.name)
+            self.sim.call_in(self.renewal_recovery, self._domain_recover)
+        self.sim.call_in(MAX_DOMAIN_LEASE, self._domain_renewal)
+
+    def _domain_recover(self) -> None:
+        self.domain_up = True
+        self.sim.record("domain-recover", self.name)
+
+    def accepting(self) -> bool:
+        """True if a delivery offered right now would be recorded publicly."""
+        return self.alive and self.domain_up
+
+    def deliver(self, packet: Packet, via_gateway: str, via_backhaul: str) -> bool:
+        """Record an arriving packet.  Returns False if the endpoint is dark."""
+        if not self.accepting():
+            return False
+        record = DeliveryRecord(
+            packet=packet,
+            received_at=self.sim.now,
+            via_gateway=via_gateway,
+            via_backhaul=via_backhaul,
+        )
+        self.deliveries.append(record)
+        self.per_device_last[packet.source] = self.sim.now
+        return True
+
+    # ------------------------------------------------------------------
+    # The paper's uptime metric
+    # ------------------------------------------------------------------
+    def weekly_uptime(self, start: float, end: float) -> "UptimeReport":
+        """Fraction of whole weeks in [start, end) with >= 1 arrival.
+
+        This is exactly the §4 metric: the experiment is "up" in a week
+        if *some* data arrived that week.
+        """
+        if end <= start:
+            raise ValueError(f"end ({end}) must exceed start ({start})")
+        n_weeks = int((end - start) // units.WEEK)
+        if n_weeks == 0:
+            raise ValueError("window shorter than one week")
+        arrivals = [r.received_at for r in self.deliveries if start <= r.received_at < end]
+        hit = [False] * n_weeks
+        for t in arrivals:
+            index = int((t - start) // units.WEEK)
+            if index < n_weeks:
+                hit[index] = True
+        up_weeks = sum(hit)
+        # Longest dark gap, in weeks.
+        longest_gap = 0
+        current = 0
+        for h in hit:
+            if h:
+                current = 0
+            else:
+                current += 1
+                longest_gap = max(longest_gap, current)
+        return UptimeReport(
+            weeks=n_weeks,
+            up_weeks=up_weeks,
+            uptime=up_weeks / n_weeks,
+            longest_gap_weeks=longest_gap,
+            total_deliveries=len(arrivals),
+        )
+
+    def device_silence(self, horizon_end: float) -> Dict[str, float]:
+        """Seconds since each known device was last heard, at ``horizon_end``."""
+        return {
+            name: horizon_end - last for name, last in self.per_device_last.items()
+        }
+
+
+@dataclass(frozen=True)
+class UptimeReport:
+    """Result of evaluating the weekly-uptime metric over a window."""
+
+    weeks: int
+    up_weeks: int
+    uptime: float
+    longest_gap_weeks: int
+    total_deliveries: int
+
+    def meets_goal(self, required: float = 0.99) -> bool:
+        """Did the system hit the target weekly uptime?"""
+        return self.uptime >= required

@@ -1,0 +1,160 @@
+"""Gateway commissioning and trusted-third-party migration (§3.2).
+
+"The process should allow newer gateways to establish links with the
+backhaul using secure mechanisms similar to those used for home router
+commissioning.  Additionally, when replacing existing gateway units, we
+can have a process in place to utilize the outgoing gateway as a
+trusted third party for easy migration of existing connected devices."
+
+We model commissioning as an explicit multi-step protocol with failure
+modes, so scenario code can charge realistic time/labor and so the
+stateful-vs-router-only gap has a mechanism, not just a multiplier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core import units
+from ..core.policy import GatewayRole
+from .gateway import Gateway, migrate_devices
+
+
+class CommissioningStep(enum.Enum):
+    """Phases of standing up a replacement gateway."""
+
+    PHYSICAL_INSTALL = "physical-install"
+    BACKHAUL_ENROLL = "backhaul-enroll"      # router-style secure join
+    KEY_ESCROW = "key-escrow"                # TTP handoff (stateful only)
+    DEVICE_MIGRATION = "device-migration"
+    VERIFICATION = "verification"
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """One executed protocol step."""
+
+    step: CommissioningStep
+    duration_s: float
+    succeeded: bool
+    detail: str = ""
+
+
+@dataclass
+class CommissioningReport:
+    """Full record of one gateway replacement."""
+
+    outgoing: str
+    incoming: str
+    steps: List[StepOutcome] = field(default_factory=list)
+    migrated_devices: int = 0
+    stranded_devices: int = 0
+    used_trusted_third_party: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """True if every step completed."""
+        return all(step.succeeded for step in self.steps)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Wall-clock technician time across steps."""
+        return sum(step.duration_s for step in self.steps)
+
+    @property
+    def labor_hours(self) -> float:
+        """Technician labor in hours."""
+        return units.as_hours(self.total_duration_s)
+
+
+@dataclass(frozen=True)
+class CommissioningProfile:
+    """Durations and risks for the protocol steps.
+
+    ``escrow_per_device_s`` applies only to stateful gateways: every
+    attached device's session keys must be re-established through the
+    outgoing unit (or, failing that, by a truck roll per device).
+    """
+
+    install_s: float = units.hours(1.5)
+    enroll_s: float = units.minutes(20.0)
+    escrow_base_s: float = units.minutes(15.0)
+    escrow_per_device_s: float = units.minutes(4.0)
+    verify_s: float = units.minutes(10.0)
+    #: Probability the outgoing gateway is too dead to act as the TTP.
+    ttp_unavailable_probability: float = 0.25
+
+
+def commission_replacement(
+    outgoing: Gateway,
+    incoming: Gateway,
+    rng,
+    profile: CommissioningProfile = CommissioningProfile(),
+    rehome_allowed: bool = True,
+) -> CommissioningReport:
+    """Run the §3.2 replacement protocol from ``outgoing`` to ``incoming``.
+
+    Router-only gateways skip key escrow entirely — devices never
+    authenticated to the instance, so migration is a link-table update.
+    Stateful gateways need the outgoing unit as a trusted third party;
+    when it is unavailable (it did just fail, after all), the attached
+    devices cannot be migrated in place and are counted stranded.
+    """
+    report = CommissioningReport(outgoing=outgoing.name, incoming=incoming.name)
+    attached = len(outgoing.dependents)
+
+    report.steps.append(
+        StepOutcome(CommissioningStep.PHYSICAL_INSTALL, profile.install_s, True)
+    )
+    report.steps.append(
+        StepOutcome(CommissioningStep.BACKHAUL_ENROLL, profile.enroll_s, True,
+                    detail="router-style secure join to backhaul")
+    )
+
+    migration_possible = rehome_allowed
+    if outgoing.role is GatewayRole.STATEFUL_CONTROLLER:
+        ttp_available = rng.random() >= profile.ttp_unavailable_probability
+        escrow_time = profile.escrow_base_s + attached * profile.escrow_per_device_s
+        report.used_trusted_third_party = ttp_available
+        report.steps.append(
+            StepOutcome(
+                CommissioningStep.KEY_ESCROW,
+                escrow_time if ttp_available else profile.escrow_base_s,
+                ttp_available,
+                detail=(
+                    f"TTP re-keyed {attached} devices"
+                    if ttp_available
+                    else "outgoing unit unrecoverable; keys lost"
+                ),
+            )
+        )
+        migration_possible = migration_possible and ttp_available
+
+    if migration_possible:
+        moved = migrate_devices(outgoing, incoming, rehome_allowed=True)
+        report.migrated_devices = len(moved)
+        report.steps.append(
+            StepOutcome(
+                CommissioningStep.DEVICE_MIGRATION,
+                units.minutes(2.0),
+                True,
+                detail=f"{len(moved)} devices re-homed",
+            )
+        )
+    else:
+        report.stranded_devices = attached
+        report.steps.append(
+            StepOutcome(
+                CommissioningStep.DEVICE_MIGRATION,
+                units.minutes(2.0),
+                False,
+                detail=f"{attached} devices stranded",
+            )
+        )
+
+    report.steps.append(
+        StepOutcome(CommissioningStep.VERIFICATION, profile.verify_s, True)
+    )
+    return report

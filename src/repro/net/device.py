@@ -1,0 +1,224 @@
+"""Edge devices: energy-harvesting, transmit-only sensors (§4.1).
+
+An ``EdgeDevice`` wakes on its reporting interval, pays the energy cost
+of one duty cycle, and blurts a packet at every reachable gateway of its
+radio technology until one decodes it.  It is incapable of receiving —
+minimal security risk, limited longitudinal trust, and no dependence on
+any *specific* gateway instance (when its attachment policy allows).
+
+Device hardware failure is a component-level competing-risks process
+armed at deployment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.engine import PeriodicTask, Simulation
+from ..core.entity import Entity
+from ..core.policy import AttachmentPolicy
+from ..energy.harvester import HarvestingSystem
+from ..radio.link import RadioSpec, attempt_delivery
+from ..radio.packets import Packet, Reading
+from ..reliability.distributions import LifetimeDistribution
+from ..reliability.failure import FailureProcess
+from .gateway import Gateway
+from .geometry import ORIGIN, Position
+
+
+class EdgeDevice(Entity):
+    """A transmit-only monitoring sensor.
+
+    Parameters
+    ----------
+    technology:
+        Radio family, must match candidate gateways ("802.15.4"/"lora").
+    spec:
+        Uplink radio parameters.
+    airtime_s:
+        Time on air for this device's frame (from the PHY model).
+    report_interval:
+        Seconds between scheduled transmissions.
+    power:
+        Harvesting system, or None for an always-powered node (the
+        energy constraint is then skipped; hardware lifetime still
+        applies via ``lifetime_model``).
+    lifetime_model:
+        Component-level competing-risks model armed at deployment; None
+        disables hardware failure (useful in unit tests).
+    attachment:
+        Whether the device may use any compatible gateway or is bound to
+        its first.
+    """
+
+    TIER = "device"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        technology: str,
+        spec: RadioSpec,
+        airtime_s: float,
+        report_interval: float,
+        payload_bytes: int = 24,
+        position: Position = ORIGIN,
+        power: Optional[HarvestingSystem] = None,
+        lifetime_model: Optional[LifetimeDistribution] = None,
+        attachment: AttachmentPolicy = AttachmentPolicy.ANY_COMPATIBLE,
+        sensor_kind: str = "concrete-health",
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        if report_interval <= 0.0:
+            raise ValueError("report_interval must be positive")
+        if airtime_s <= 0.0:
+            raise ValueError("airtime_s must be positive")
+        self.technology = technology
+        self.spec = spec
+        self.airtime_s = airtime_s
+        self.report_interval = report_interval
+        self.payload_bytes = payload_bytes
+        self.position = position
+        self.power = power
+        self.lifetime_model = lifetime_model
+        self.attachment = attachment
+        self.sensor_kind = sensor_kind
+        self.signing_key = f"factory-key:{self.name}"
+
+        #: Optional dynamic discovery: a zero-argument callable returning
+        #: the current gateway population (e.g. a Helium network's live
+        #: hotspots).  When set, transmissions consider these gateways in
+        #: addition to static ``depends_on`` links — the device relies on
+        #: *properties* of infrastructure, not specific instances.
+        self.gateway_directory = None
+
+        self.attempts = 0
+        self.energy_denied = 0
+        self.radio_lost = 0
+        self.no_gateway = 0
+        self.delivered = 0
+        self._task: Optional[PeriodicTask] = None
+        self._failure: Optional[FailureProcess] = None
+        self._last_energy_step: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_deploy(self) -> None:
+        self._last_energy_step = self.sim.now
+        if self.lifetime_model is not None:
+            self._failure = FailureProcess(
+                self.sim, self, self.lifetime_model, stream="device-hw"
+            )
+            self._failure.arm()
+        self._task = self.sim.every(
+            self.report_interval, self._report, label=f"report:{self.name}"
+        )
+
+    def on_end(self, reason: str) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        if self._failure is not None:
+            self._failure.disarm()
+            self._failure = None
+
+    # ------------------------------------------------------------------
+    # The duty cycle
+    # ------------------------------------------------------------------
+    def candidate_gateways(self) -> List[Gateway]:
+        """Gateways this device may try, ordered nearest-first.
+
+        Instance-bound devices only ever try their first dependency —
+        the §3.1 anti-pattern whose cost the policy ablation measures.
+        """
+        candidates = list(self.depends_on)
+        if (
+            self.gateway_directory is not None
+            and self.attachment is AttachmentPolicy.ANY_COMPATIBLE
+        ):
+            candidates.extend(self.gateway_directory())
+        seen = set()
+        gateways = []
+        for g in candidates:
+            if not isinstance(g, Gateway) or g.technology != self.technology:
+                continue
+            if id(g) in seen:
+                continue
+            seen.add(id(g))
+            gateways.append(g)
+        if self.attachment is AttachmentPolicy.INSTANCE_BOUND:
+            gateways = gateways[:1]
+        gateways.sort(key=lambda g: self.position.distance_to(g.position))
+        return gateways
+
+    def _report(self) -> None:
+        if not self.alive:
+            return
+        self.attempts += 1
+        if not self._pay_energy():
+            self.energy_denied += 1
+            return
+        packet = self.make_packet()
+        heard_by: Optional[Gateway] = None
+        candidates = [g for g in self.candidate_gateways() if g.hears()]
+        if not candidates:
+            self.no_gateway += 1
+            return
+        rng = self.sim.rng("radio")
+        # A broadcast is heard (or not) by everything in range at once;
+        # trying the four best links covers any realistic decode set.
+        for gateway in candidates[:4]:
+            distance = max(self.position.distance_to(gateway.position), 1.0)
+            if attempt_delivery(self.spec, gateway.path_loss, distance, rng):
+                heard_by = gateway
+                break
+        if heard_by is None:
+            self.radio_lost += 1
+            return
+        if heard_by.receive(packet):
+            self.delivered += 1
+
+    def _pay_energy(self) -> bool:
+        if self.power is None:
+            return True
+        dt = self.sim.now - self._last_energy_step
+        self._last_energy_step = self.sim.now
+        self.power.step(dt, self.sim.rng("energy"))
+        return self.power.try_transmit(self.airtime_s)
+
+    def make_packet(self) -> Packet:
+        """Build the uplink frame for the current reading."""
+        rng = self.sim.rng("sensing")
+        reading = Reading(
+            kind=self.sensor_kind,
+            value=float(rng.normal(loc=1.0, scale=0.05)),
+            unit="normalized",
+        )
+        return Packet(
+            source=self.name,
+            created_at=self.sim.now,
+            payload_bytes=self.payload_bytes,
+            reading=reading,
+            signed_with=self.signing_key,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of scheduled reports that reached the backend."""
+        if self.attempts == 0:
+            return 0.0
+        return self.delivered / self.attempts
+
+    def loss_breakdown(self) -> dict:
+        """Counts by loss cause, for the experiment diary."""
+        return {
+            "attempts": self.attempts,
+            "delivered": self.delivered,
+            "energy_denied": self.energy_denied,
+            "no_gateway": self.no_gateway,
+            "radio_lost": self.radio_lost,
+        }

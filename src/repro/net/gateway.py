@@ -1,0 +1,217 @@
+"""Gateways: the translation layer between device radios and the backhaul.
+
+Per §3.2's takeaways, a gateway "should primarily act only as a router":
+``Gateway.receive`` checks a blocklist and forwards up the dependency
+DAG, deferring all decision-making to the backend.  The stateful
+alternative (per-device connection keys, closed-loop control) is
+represented by :class:`~repro.core.policy.GatewayRole` and shows up as a
+commissioning cost when gateways are replaced.
+
+``OwnedGateway`` is the paper's Raspberry-Pi-class, campus-backhauled
+unit — it fails per the platform reliability model and may be maintained.
+``ThirdPartyGateway`` is a hotspot someone else operates (the Helium
+case) — it *churns*: its owner may unplug it at any time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core.engine import Simulation
+from ..core.entity import Entity
+from ..core.policy import GatewayRole
+from ..radio.link import PathLossModel, RadioSpec
+from ..radio.packets import Packet
+from .geometry import ORIGIN, Position
+
+
+class Gateway(Entity):
+    """Base gateway: radio endpoint + packet router.
+
+    ``technology`` must match the transmitting device's radio for a
+    packet to be heard at all.  ``spec``/``path_loss`` define the uplink
+    the device sees towards this gateway.
+    """
+
+    TIER = "gateway"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        technology: str,
+        spec: RadioSpec,
+        path_loss: PathLossModel,
+        position: Position = ORIGIN,
+        name: Optional[str] = None,
+        role: GatewayRole = GatewayRole.ROUTER_ONLY,
+    ) -> None:
+        super().__init__(sim, name)
+        self.technology = technology
+        self.spec = spec
+        self.path_loss = path_loss
+        self.position = position
+        self.role = role
+        self.blocklist: Set[str] = set()
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.drops_blocklist = 0
+        self.drops_backhaul = 0
+        self.drops_endpoint = 0
+
+    def block(self, device_name: str) -> None:
+        """Add a known-bad device to the forwarding blocklist (§3.2)."""
+        self.blocklist.add(device_name)
+
+    def unblock(self, device_name: str) -> None:
+        """Remove a device from the blocklist."""
+        self.blocklist.discard(device_name)
+
+    def hears(self) -> bool:
+        """True if the gateway can currently receive radio traffic."""
+        return self.alive
+
+    def receive(self, packet: Packet) -> bool:
+        """Accept a radio-decoded packet and forward it to the backend.
+
+        Returns True iff the packet reached a recording endpoint.  Drop
+        reasons are counted for the benchmarks' loss breakdowns.
+        """
+        if not self.hears():
+            return False
+        self.packets_received += 1
+        if packet.source in self.blocklist:
+            self.drops_blocklist += 1
+            return False
+        return self._forward(packet)
+
+    def _forward(self, packet: Packet) -> bool:
+        for backhaul in self.depends_on:
+            carries = getattr(backhaul, "carries_traffic", None)
+            if carries is None or not carries():
+                continue
+            for endpoint in backhaul.depends_on:
+                deliver = getattr(endpoint, "deliver", None)
+                if deliver is None:
+                    continue
+                if deliver(packet, via_gateway=self.name, via_backhaul=backhaul.name):
+                    self.packets_forwarded += 1
+                    return True
+                self.drops_endpoint += 1
+                return False
+        self.drops_backhaul += 1
+        return False
+
+    def commissioning_hours(self) -> float:
+        """Labor to stand up a replacement for this gateway.
+
+        Router-only gateways commission in an hour; stateful controllers
+        must re-key every dependent device (§3.2's traffic-light case),
+        which scales with attachment count.
+        """
+        base = 1.0
+        if self.role is GatewayRole.ROUTER_ONLY:
+            return base
+        return base + 0.25 * len(self.dependents)
+
+
+class OwnedGateway(Gateway):
+    """A self-deployed, self-maintained 802.15.4 gateway (§4.2 case 1).
+
+    Aggressively firewalled for the transmit-only application, so the
+    security risk of unattended operation is bounded; reliability is the
+    Raspberry-Pi-class platform model.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: RadioSpec,
+        path_loss: PathLossModel,
+        position: Position = ORIGIN,
+        name: Optional[str] = None,
+        role: GatewayRole = GatewayRole.ROUTER_ONLY,
+    ) -> None:
+        super().__init__(
+            sim,
+            technology="802.15.4",
+            spec=spec,
+            path_loss=path_loss,
+            position=position,
+            name=name,
+            role=role,
+        )
+
+
+class ThirdPartyGateway(Gateway):
+    """Someone else's hotspot ferrying our data for pay (§4.2 case 2).
+
+    ``departs_at`` is the owner-churn time: the hotspot simply goes away
+    (owner moved, mining stopped paying, hardware bricked).  No
+    maintenance is possible — we don't own it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        spec: RadioSpec,
+        path_loss: PathLossModel,
+        position: Position = ORIGIN,
+        name: Optional[str] = None,
+        departs_at: Optional[float] = None,
+        asn: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            technology="lora",
+            spec=spec,
+            path_loss=path_loss,
+            position=position,
+            name=name,
+            role=GatewayRole.ROUTER_ONLY,
+        )
+        self.departs_at = departs_at
+        self.asn = asn
+        #: Optional payment hook: any object with ``debit(credits) -> bool``.
+        #: Set by :class:`~repro.net.helium.HeliumNetwork` so forwarding is
+        #: refused once the prepaid wallet runs dry.
+        self.wallet = None
+        self.drops_unpaid = 0
+        if asn is not None:
+            self.tags["asn"] = str(asn)
+
+    def receive(self, packet: Packet) -> bool:
+        if not self.hears():
+            return False
+        if self.wallet is not None and not self.wallet.debit(packet.credit_units):
+            self.drops_unpaid += 1
+            return False
+        return super().receive(packet)
+
+    def on_deploy(self) -> None:
+        if self.departs_at is not None:
+            when = max(self.departs_at, self.sim.now)
+            self.sim.call_at(when, self._depart, label=f"churn:{self.name}")
+
+    def _depart(self) -> None:
+        if self.alive:
+            self.retire(reason="owner-churn")
+
+
+def migrate_devices(
+    outgoing: Gateway, incoming: Gateway, rehome_allowed: bool = True
+) -> List[Entity]:
+    """Move ``outgoing``'s dependents to ``incoming`` (§3.2 commissioning).
+
+    Models the outgoing gateway acting as a trusted third party for
+    migration.  If ``rehome_allowed`` is False (instance-bound devices),
+    nothing migrates and the devices are stranded.  Returns the migrated
+    devices.
+    """
+    if not rehome_allowed:
+        return []
+    migrated = []
+    for device in list(outgoing.dependents):
+        device.remove_dependency(outgoing)
+        device.add_dependency(incoming)
+        migrated.append(device)
+    return migrated

@@ -1,0 +1,80 @@
+"""Planar geometry for deployments.
+
+Positions are metres on a local tangent plane — city-scale deployments
+do not need geodesy.  ``Grid`` generates the regular street-furniture
+layouts (poles every ~50 m along blocks) that city generators use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the deployment plane, metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+ORIGIN = Position(0.0, 0.0)
+
+
+def grid_positions(
+    count: int, spacing_m: float = 50.0, jitter_m: float = 0.0, rng=None
+) -> List[Position]:
+    """``count`` positions on a near-square grid with optional jitter.
+
+    Street furniture (poles, lights) is regularly spaced; jitter models
+    the irregularity of real blocks.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if spacing_m <= 0.0:
+        raise ValueError(f"spacing_m must be positive, got {spacing_m}")
+    side = math.ceil(math.sqrt(count))
+    positions = []
+    for index in range(count):
+        row, col = divmod(index, side)
+        x = col * spacing_m
+        y = row * spacing_m
+        if jitter_m > 0.0:
+            if rng is None:
+                raise ValueError("jitter requires an rng")
+            x += float(rng.uniform(-jitter_m, jitter_m))
+            y += float(rng.uniform(-jitter_m, jitter_m))
+        positions.append(Position(x, y))
+    return positions
+
+
+def uniform_positions(count: int, extent_m: float, rng) -> List[Position]:
+    """``count`` positions uniform over an ``extent_m`` square."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if extent_m <= 0.0:
+        raise ValueError(f"extent_m must be positive, got {extent_m}")
+    xs = rng.uniform(0.0, extent_m, size=count)
+    ys = rng.uniform(0.0, extent_m, size=count)
+    return [Position(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def centroid(positions: List[Position]) -> Position:
+    """Mean position."""
+    if not positions:
+        raise ValueError("centroid of empty position list")
+    xs = np.mean([p.x for p in positions])
+    ys = np.mean([p.y for p in positions])
+    return Position(float(xs), float(ys))

@@ -1,0 +1,144 @@
+"""Network assembly: coverage-based association and whole-system views.
+
+``associate_by_coverage`` implements the takeaway-compliant attachment:
+a device depends on *every* compatible gateway whose mean link success
+clears a threshold, so losing one gateway strands nothing that another
+covers.  ``Network`` bundles the entities of one deployment with its
+:class:`~repro.core.hierarchy.Hierarchy` view and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.engine import Simulation
+from ..core.hierarchy import Hierarchy
+from .backhaul import Backhaul
+from .cloud import CloudEndpoint
+from .device import EdgeDevice
+from .gateway import Gateway
+
+
+def associate_by_coverage(
+    devices: Sequence[EdgeDevice],
+    gateways: Sequence[Gateway],
+    min_success: float = 0.5,
+    max_gateways_per_device: int = 2,
+) -> Dict[str, int]:
+    """Wire each device to its best in-range compatible gateways.
+
+    Uses the deterministic (no-shadowing) link budget for planning, as a
+    real site survey would.  Returns ``{device_name: attached_count}``;
+    devices with zero coverage stay unattached (and will count their
+    reports as ``no_gateway`` losses).
+    """
+    if not 0.0 < min_success < 1.0:
+        raise ValueError("min_success must be in (0, 1)")
+    if max_gateways_per_device < 1:
+        raise ValueError("max_gateways_per_device must be >= 1")
+    from ..radio.link import link_budget
+
+    attached: Dict[str, int] = {}
+    for device in devices:
+        scored = []
+        for gateway in gateways:
+            if gateway.technology != device.technology:
+                continue
+            distance = max(device.position.distance_to(gateway.position), 1.0)
+            budget = link_budget(device.spec, gateway.path_loss, distance)
+            if budget.mean_success >= min_success:
+                scored.append((budget.mean_success, gateway))
+        scored.sort(key=lambda pair: -pair[0])
+        for __, gateway in scored[:max_gateways_per_device]:
+            device.add_dependency(gateway)
+        attached[device.name] = min(len(scored), max_gateways_per_device)
+    return attached
+
+
+@dataclass
+class Network:
+    """One deployment's entities plus its hierarchy view."""
+
+    sim: Simulation
+    endpoint: CloudEndpoint
+    backhauls: List[Backhaul] = field(default_factory=list)
+    gateways: List[Gateway] = field(default_factory=list)
+    devices: List[EdgeDevice] = field(default_factory=list)
+    hierarchy: Hierarchy = field(default_factory=Hierarchy)
+
+    def register_all(self) -> None:
+        """(Re)build the hierarchy view from the current entity lists."""
+        self.hierarchy = Hierarchy()
+        self.hierarchy.add(self.endpoint)
+        self.hierarchy.extend(self.backhauls)
+        self.hierarchy.extend(self.gateways)
+        self.hierarchy.extend(self.devices)
+
+    def deploy_all(self) -> None:
+        """Deploy endpoint, backhauls, gateways, then devices, in order.
+
+        Entities already deployed (e.g. Helium hotspots spawned by their
+        network object) are skipped.
+        """
+        ordered = [self.endpoint, *self.backhauls, *self.gateways, *self.devices]
+        for entity in ordered:
+            if entity.deployed_at is None:
+                entity.deploy()
+        self.register_all()
+
+    def delivery_summary(self) -> "DeliverySummary":
+        """Aggregate loss breakdown across all devices."""
+        totals = {
+            "attempts": 0,
+            "delivered": 0,
+            "energy_denied": 0,
+            "no_gateway": 0,
+            "radio_lost": 0,
+        }
+        for device in self.devices:
+            for key, value in device.loss_breakdown().items():
+                totals[key] += value
+        dropped_at_gateway = (
+            totals["attempts"]
+            - totals["delivered"]
+            - totals["energy_denied"]
+            - totals["no_gateway"]
+            - totals["radio_lost"]
+        )
+        return DeliverySummary(
+            attempts=totals["attempts"],
+            delivered=totals["delivered"],
+            energy_denied=totals["energy_denied"],
+            no_gateway=totals["no_gateway"],
+            radio_lost=totals["radio_lost"],
+            dropped_at_gateway=dropped_at_gateway,
+        )
+
+    def alive_counts(self) -> Dict[str, int]:
+        """Entities alive per tier, for quick health checks."""
+        return {
+            "device": sum(1 for d in self.devices if d.alive),
+            "gateway": sum(1 for g in self.gateways if g.alive),
+            "backhaul": sum(1 for b in self.backhauls if b.alive),
+            "cloud": 1 if self.endpoint.alive else 0,
+        }
+
+
+@dataclass(frozen=True)
+class DeliverySummary:
+    """End-to-end packet accounting over a run."""
+
+    attempts: int
+    delivered: int
+    energy_denied: int
+    no_gateway: int
+    radio_lost: int
+    dropped_at_gateway: int
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered / attempted."""
+        if self.attempts == 0:
+            return 0.0
+        return self.delivered / self.attempts

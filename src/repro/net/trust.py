@@ -1,0 +1,209 @@
+"""Longitudinal trust for immutable transmit-only devices (§4.1).
+
+"These are devices with minimal security risk, as they are incapable of
+receiving data, but also of limited longitudinal trust, as their
+security and signing techniques can never be modified."
+
+A device ships with one factory signing scheme, forever.  Over decades
+the scheme weakens (cryptanalytic progress, key-length erosion) and
+individual keys leak.  The *backend* is the only place policy can live:
+it decides how long to keep accepting signatures from aging schemes,
+and maintains the blocklist of known-compromised devices that §3.2's
+gateways enforce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import units
+
+
+class TrustLevel(enum.Enum):
+    """Backend verdict on a device's signatures."""
+
+    TRUSTED = "trusted"          # scheme strong, key clean
+    DEGRADED = "degraded"        # scheme past its cryptoperiod: accept,
+                                 # but corroborate with neighbours
+    UNTRUSTED = "untrusted"      # scheme broken or key compromised
+
+
+@dataclass(frozen=True)
+class SigningScheme:
+    """An immutable factory signing configuration.
+
+    ``cryptoperiod_years`` — how long the scheme is considered strong
+    (NIST-style guidance).  ``break_median_years`` — log-normal median
+    of the time until the scheme is *practically* broken; a century is
+    long enough that some schemes will fall.
+    """
+
+    name: str
+    cryptoperiod_years: float = 20.0
+    break_median_years: float = 60.0
+    break_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.cryptoperiod_years <= 0.0:
+            raise ValueError("cryptoperiod_years must be positive")
+        if self.break_median_years <= 0.0:
+            raise ValueError("break_median_years must be positive")
+
+    def sample_break_time(self, rng: np.random.Generator) -> float:
+        """Draw the time (seconds) at which this scheme falls."""
+        return float(
+            rng.lognormal(
+                np.log(units.years(self.break_median_years)), self.break_sigma
+            )
+        )
+
+
+#: Plausible 2021-era device schemes, weakest to strongest.
+SCHEMES = {
+    "aes128-cmac": SigningScheme("aes128-cmac", 25.0, 70.0),
+    "ecdsa-p256": SigningScheme("ecdsa-p256", 20.0, 45.0),
+    "ed25519": SigningScheme("ed25519", 25.0, 55.0),
+    "hmac-sha256": SigningScheme("hmac-sha256", 30.0, 80.0),
+}
+
+
+@dataclass
+class TrustPolicy:
+    """The backend's acceptance policy for aging immutable devices.
+
+    ``degraded_acceptance_years`` — how long past the cryptoperiod the
+    backend keeps accepting (with corroboration) before cutting off.
+    ``key_leak_rate_per_year`` — per-device probability of individual
+    key compromise (physical extraction from an embedded, unattended
+    device is slow but not impossible).
+    """
+
+    degraded_acceptance_years: float = 15.0
+    key_leak_rate_per_year: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.degraded_acceptance_years < 0.0:
+            raise ValueError("degraded_acceptance_years must be non-negative")
+        if not 0.0 <= self.key_leak_rate_per_year <= 1.0:
+            raise ValueError("key_leak_rate_per_year must be in [0, 1]")
+
+
+@dataclass
+class DeviceTrustRecord:
+    """Backend-side trust state for one device."""
+
+    device: str
+    scheme: SigningScheme
+    commissioned_at: float
+    scheme_breaks_at: float
+    key_leaks_at: Optional[float] = None
+
+    def level_at(self, t: float, policy: TrustPolicy) -> TrustLevel:
+        """Trust verdict at time ``t`` under ``policy``."""
+        if self.key_leaks_at is not None and t >= self.key_leaks_at:
+            return TrustLevel.UNTRUSTED
+        if t >= self.scheme_breaks_at:
+            return TrustLevel.UNTRUSTED
+        age = t - self.commissioned_at
+        strong_until = units.years(self.scheme.cryptoperiod_years)
+        if age < strong_until:
+            return TrustLevel.TRUSTED
+        if age < strong_until + units.years(policy.degraded_acceptance_years):
+            return TrustLevel.DEGRADED
+        return TrustLevel.UNTRUSTED
+
+
+class TrustRegistry:
+    """The backend's ledger of device keys, verdicts, and blocklists."""
+
+    def __init__(
+        self,
+        policy: TrustPolicy = None,
+        rng: np.random.Generator = None,
+    ) -> None:
+        self.policy = policy or TrustPolicy()
+        self._rng = rng or np.random.default_rng(0)
+        self.records: Dict[str, DeviceTrustRecord] = {}
+
+    def commission(
+        self, device: str, scheme_name: str, at: float = 0.0
+    ) -> DeviceTrustRecord:
+        """Register a device's immutable factory key at deployment."""
+        if scheme_name not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme_name!r}; options: {sorted(SCHEMES)}"
+            )
+        if device in self.records:
+            raise ValueError(f"device {device!r} already commissioned")
+        scheme = SCHEMES[scheme_name]
+        breaks_at = at + scheme.sample_break_time(self._rng)
+        leak_rate = self.policy.key_leak_rate_per_year
+        leaks_at: Optional[float] = None
+        if leak_rate > 0.0:
+            leaks_at = at + float(
+                self._rng.exponential(units.YEAR / leak_rate)
+            )
+        record = DeviceTrustRecord(
+            device=device,
+            scheme=scheme,
+            commissioned_at=at,
+            scheme_breaks_at=breaks_at,
+            key_leaks_at=leaks_at,
+        )
+        self.records[device] = record
+        return record
+
+    def level(self, device: str, t: float) -> TrustLevel:
+        """Current verdict for one device."""
+        record = self.records.get(device)
+        if record is None:
+            return TrustLevel.UNTRUSTED
+        return record.level_at(t, self.policy)
+
+    def blocklist_at(self, t: float) -> List[str]:
+        """Devices the gateways should refuse to forward (§3.2)."""
+        return sorted(
+            name
+            for name, record in self.records.items()
+            if record.level_at(t, self.policy) is TrustLevel.UNTRUSTED
+        )
+
+    def census(self, t: float) -> Dict[TrustLevel, int]:
+        """Fleet-wide trust composition at time ``t``."""
+        counts = {level: 0 for level in TrustLevel}
+        for record in self.records.values():
+            counts[record.level_at(t, self.policy)] += 1
+        return counts
+
+    def trusted_fraction(self, t: float) -> float:
+        """Share of the fleet whose data is still fully trusted."""
+        if not self.records:
+            return 0.0
+        census = self.census(t)
+        return census[TrustLevel.TRUSTED] / len(self.records)
+
+
+def trust_horizon(
+    registry: TrustRegistry,
+    horizon: float = units.years(50.0),
+    step: float = units.years(1.0),
+    min_fraction: float = 0.5,
+) -> float:
+    """Time at which the fully-trusted fraction first falls below
+    ``min_fraction`` — the fleet's *trust lifetime*, which §4.1 implies
+    is shorter than its *hardware* lifetime.
+
+    Returns ``horizon`` if trust held throughout.
+    """
+    if not registry.records:
+        raise ValueError("registry has no commissioned devices")
+    t = 0.0
+    while t <= horizon:
+        if registry.trusted_fraction(t) < min_fraction:
+            return t
+        t += step
+    return horizon

@@ -1,0 +1,33 @@
+"""Obsolescence taxonomy, technology timelines, and upgrade policies."""
+
+from .kinds import (
+    ObsolescenceEvent,
+    ObsolescenceKind,
+    ObsolescenceSplit,
+    classify_reason,
+    split_events,
+)
+from .timeline import (
+    HISTORICAL_CELLULAR,
+    Generation,
+    TechnologyTimeline,
+    historical_cellular_timeline,
+    synthesize_timeline,
+)
+from .upgrade import FleetFates, UpgradePolicy, simulate_fleet_fates
+
+__all__ = [
+    "ObsolescenceEvent",
+    "ObsolescenceKind",
+    "ObsolescenceSplit",
+    "classify_reason",
+    "split_events",
+    "HISTORICAL_CELLULAR",
+    "Generation",
+    "TechnologyTimeline",
+    "historical_cellular_timeline",
+    "synthesize_timeline",
+    "FleetFates",
+    "UpgradePolicy",
+    "simulate_fleet_fates",
+]

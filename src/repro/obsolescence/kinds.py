@@ -1,0 +1,90 @@
+"""The paper's taxonomy of obsolescence (§1, footnote 3).
+
+* **Functional** — the device broke; "if it ain't broke, don't fix it"
+  is the infrastructure promise the paper wants for electronics.
+* **Technical** — a newer/better device supplants it, or an external
+  technology change (the 802.11b scale) strands it.
+* **Style** — replaced for reasons of personal taste.
+* **Planned** — manufacturer-limited life (designed-to-fail components
+  or explicit software lockouts).
+
+``ObsolescenceEvent`` records why a device left service, so fleet
+studies can report the split the paper cares about: how much working
+hardware is being thrown away (everything except functional).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+
+class ObsolescenceKind(enum.Enum):
+    """Why a device left service."""
+
+    FUNCTIONAL = "functional"   # it broke
+    TECHNICAL = "technical"     # something better / infra change
+    STYLE = "style"             # taste
+    PLANNED = "planned"         # manufacturer-imposed
+
+
+@dataclass(frozen=True)
+class ObsolescenceEvent:
+    """One retirement, with its cause."""
+
+    time: float
+    entity_name: str
+    kind: ObsolescenceKind
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ObsolescenceSplit:
+    """Fleet-level breakdown of why devices left service."""
+
+    total: int
+    by_kind: Dict[ObsolescenceKind, int]
+
+    def fraction(self, kind: ObsolescenceKind) -> float:
+        """Share of retirements attributable to ``kind``."""
+        if self.total == 0:
+            return 0.0
+        return self.by_kind.get(kind, 0) / self.total
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Share of retirements where *working* hardware was discarded.
+
+        Everything except functional obsolescence: the quantity the
+        paper's whole agenda aims to drive to zero.
+        """
+        return 1.0 - self.fraction(ObsolescenceKind.FUNCTIONAL)
+
+
+def split_events(events: Iterable[ObsolescenceEvent]) -> ObsolescenceSplit:
+    """Tally retirement causes."""
+    by_kind: Dict[ObsolescenceKind, int] = {}
+    total = 0
+    for event in events:
+        total += 1
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    return ObsolescenceSplit(total=total, by_kind=by_kind)
+
+
+def classify_reason(reason: str) -> ObsolescenceKind:
+    """Map the free-text ``reason`` strings used by entities onto kinds.
+
+    The entity layer records reasons like ``"wearout"`` or
+    ``"2G-sunset"``; this canonicalizes them for split reporting.
+    """
+    reason = reason.lower()
+    if any(token in reason for token in ("wearout", "fail", "battery", "broke")):
+        return ObsolescenceKind.FUNCTIONAL
+    if any(token in reason for token in ("sunset", "upgrade", "incompat", "churn", "stranded")):
+        return ObsolescenceKind.TECHNICAL
+    if any(token in reason for token in ("lockout", "warranty", "eol-by-vendor")):
+        return ObsolescenceKind.PLANNED
+    if any(token in reason for token in ("style", "taste", "refresh-aesthetic")):
+        return ObsolescenceKind.STYLE
+    return ObsolescenceKind.FUNCTIONAL

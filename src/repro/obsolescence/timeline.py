@@ -1,0 +1,152 @@
+"""Technology-generation timelines and spectrum sunsets.
+
+§3.4: "the sunset of 2G wireless technologies [meant] device owners have
+no option: a fixed resource (spectrum) that they do not own or control
+is taken away, and devices must be replaced."  ``TechnologyTimeline``
+models a succession of generations, each with a launch and a sunset;
+fleets bound to a generation die with it.  The historical cellular table
+is included for calibration, and a stochastic generator produces future
+timelines for Monte-Carlo horizon studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import units
+
+
+@dataclass(frozen=True)
+class Generation:
+    """One technology generation's service window (times in sim seconds)."""
+
+    name: str
+    launched_at: float
+    sunset_at: Optional[float]  # None = not yet announced
+
+    def available(self, t: float) -> bool:
+        """True while the generation carries traffic at time ``t``."""
+        if t < self.launched_at:
+            return False
+        if self.sunset_at is None:
+            return True
+        return t < self.sunset_at
+
+    @property
+    def service_years(self) -> Optional[float]:
+        """Launch-to-sunset span, if the sunset is known."""
+        if self.sunset_at is None:
+            return None
+        return units.as_years(self.sunset_at - self.launched_at)
+
+
+#: US cellular history, in years relative to 1990 (calibration data).
+#: Launch/sunset: 2G ~1992–2022 (AT&T 2017, T-Mobile 2022), 3G
+#: ~2002–2022, 4G ~2010–(projected mid-2030s).
+HISTORICAL_CELLULAR = [
+    ("2G", 2.0, 29.0),
+    ("3G", 12.0, 32.0),
+    ("4G", 20.0, 45.0),
+    ("5G", 29.0, None),
+]
+
+
+def historical_cellular_timeline() -> "TechnologyTimeline":
+    """The US cellular generations as a timeline (t=0 is 1990)."""
+    generations = [
+        Generation(
+            name=name,
+            launched_at=units.years(launch),
+            sunset_at=None if sunset is None else units.years(sunset),
+        )
+        for name, launch, sunset in HISTORICAL_CELLULAR
+    ]
+    return TechnologyTimeline(generations=generations)
+
+
+@dataclass
+class TechnologyTimeline:
+    """A succession of generations for one wireless family."""
+
+    generations: List[Generation]
+
+    def __post_init__(self) -> None:
+        self.generations = sorted(self.generations, key=lambda g: g.launched_at)
+
+    def current(self, t: float) -> Optional[Generation]:
+        """The newest generation available at ``t`` (what new devices buy)."""
+        live = [g for g in self.generations if g.available(t)]
+        if not live:
+            return None
+        return live[-1]
+
+    def available_at(self, t: float) -> List[Generation]:
+        """All generations carrying traffic at ``t``."""
+        return [g for g in self.generations if g.available(t)]
+
+    def sunset_of(self, name: str) -> Optional[float]:
+        """Sunset time of the named generation (None if unknown name or
+        no announced sunset)."""
+        for generation in self.generations:
+            if generation.name == name:
+                return generation.sunset_at
+        return None
+
+    def strandings(self, deploy_t: float, horizon: float) -> int:
+        """How many times a device bound at ``deploy_t`` must be replaced
+        before ``horizon``, if each replacement binds to the then-newest
+        generation.
+
+        The §3.4 replacement treadmill, quantified.
+        """
+        count = 0
+        t = deploy_t
+        while t < horizon:
+            generation = self.current(t)
+            if generation is None or generation.sunset_at is None:
+                break
+            if generation.sunset_at >= horizon:
+                break
+            t = generation.sunset_at
+            count += 1
+        return count
+
+    def mean_service_years(self) -> float:
+        """Average launch-to-sunset span over closed generations."""
+        spans = [g.service_years for g in self.generations if g.service_years]
+        if not spans:
+            raise ValueError("no closed generations in timeline")
+        return float(np.mean(spans))
+
+
+def synthesize_timeline(
+    rng: np.random.Generator,
+    horizon: float = units.years(100.0),
+    mean_generation_gap: float = units.years(9.0),
+    mean_service_life: float = units.years(22.0),
+    service_sigma: float = 0.25,
+    first_launch: float = 0.0,
+) -> TechnologyTimeline:
+    """Generate a plausible future generation sequence for Monte-Carlo.
+
+    Launch gaps are exponential around the historical ~9-year cadence;
+    service lives are log-normal around ~22 years (the 2G/3G record).
+    """
+    if mean_generation_gap <= 0.0 or mean_service_life <= 0.0:
+        raise ValueError("means must be positive")
+    generations: List[Generation] = []
+    t = first_launch
+    index = 0
+    while t < horizon:
+        service = float(
+            rng.lognormal(np.log(mean_service_life), service_sigma)
+        )
+        generations.append(
+            Generation(name=f"G{index + 1}", launched_at=t, sunset_at=t + service)
+        )
+        t += float(rng.exponential(mean_generation_gap))
+        index += 1
+    return TechnologyTimeline(generations=generations)

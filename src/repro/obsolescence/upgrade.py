@@ -1,0 +1,129 @@
+"""Operator upgrade policies and their effect on fleet survival.
+
+§2 reports that today's operators "predict lifetimes of 2–7 years until
+the system is upgraded" — i.e. *technical* obsolescence is scheduled in
+from day one.  ``UpgradePolicy`` captures when an operator replaces a
+working fleet; :func:`simulate_fleet_fates` runs a fleet of sampled
+hardware lifetimes against a policy and a technology timeline and splits
+the outcomes by obsolescence kind — the E12 sensitivity study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core import units
+from .kinds import ObsolescenceKind, ObsolescenceSplit
+from .timeline import TechnologyTimeline
+
+
+@dataclass(frozen=True)
+class UpgradePolicy:
+    """When an operator retires working devices.
+
+    ``refresh_years`` — scheduled platform refresh (None = never; run to
+    failure).  ``follow_sunsets`` — whether devices die with their bound
+    technology generation (False models takeaway-compliant devices that
+    re-home to replacement infrastructure).
+    ``style_refresh_probability`` — annual chance a cosmetic/portfolio
+    decision retires the device anyway.
+    """
+
+    refresh_years: Optional[float] = 5.0
+    follow_sunsets: bool = True
+    style_refresh_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.refresh_years is not None and self.refresh_years <= 0.0:
+            raise ValueError("refresh_years must be positive or None")
+        if not 0.0 <= self.style_refresh_probability <= 1.0:
+            raise ValueError("style_refresh_probability must be in [0, 1]")
+
+    @staticmethod
+    def run_to_failure() -> "UpgradePolicy":
+        """The functional-obsolescence ideal: never retire working gear."""
+        return UpgradePolicy(refresh_years=None, follow_sunsets=False)
+
+    @staticmethod
+    def todays_operator(refresh_years: float = 5.0) -> "UpgradePolicy":
+        """The §2 status quo: scheduled refresh inside 2–7 years."""
+        return UpgradePolicy(refresh_years=refresh_years, follow_sunsets=True)
+
+
+@dataclass(frozen=True)
+class FleetFates:
+    """Outcome of running one fleet against one policy."""
+
+    split: ObsolescenceSplit
+    mean_realized_years: float     # how long devices actually served
+    mean_potential_years: float    # how long the hardware could have served
+    utilization: float             # realized / potential
+
+    @property
+    def wasted_service_years(self) -> float:
+        """Mean years of working hardware thrown away per device."""
+        return self.mean_potential_years - self.mean_realized_years
+
+
+def simulate_fleet_fates(
+    hardware_lifetimes: np.ndarray,
+    policy: UpgradePolicy,
+    timeline: Optional[TechnologyTimeline] = None,
+    deploy_t: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> FleetFates:
+    """Determine each device's end: broke first, refreshed, sunset, or style.
+
+    Each device's realized service ends at the earliest of its hardware
+    lifetime, the scheduled refresh, its generation's sunset (when the
+    policy follows sunsets), and a sampled style event.
+    """
+    lifetimes = np.asarray(hardware_lifetimes, dtype=float)
+    if lifetimes.ndim != 1 or len(lifetimes) == 0:
+        raise ValueError("hardware_lifetimes must be a non-empty 1-D array")
+    n = len(lifetimes)
+
+    refresh = (
+        np.full(n, np.inf)
+        if policy.refresh_years is None
+        else np.full(n, units.years(policy.refresh_years))
+    )
+
+    sunset = np.full(n, np.inf)
+    if policy.follow_sunsets and timeline is not None:
+        generation = timeline.current(deploy_t)
+        if generation is not None and generation.sunset_at is not None:
+            sunset = np.full(n, max(generation.sunset_at - deploy_t, 0.0))
+
+    style = np.full(n, np.inf)
+    if policy.style_refresh_probability > 0.0:
+        if rng is None:
+            raise ValueError("style refresh requires an rng")
+        annual = policy.style_refresh_probability
+        style = rng.exponential(units.YEAR / annual, size=n)
+
+    ends = np.stack([lifetimes, refresh, sunset, style])
+    realized = ends.min(axis=0)
+    cause_index = ends.argmin(axis=0)
+    kinds = [
+        ObsolescenceKind.FUNCTIONAL,
+        ObsolescenceKind.TECHNICAL,   # scheduled refresh = technical
+        ObsolescenceKind.TECHNICAL,   # sunset = technical
+        ObsolescenceKind.STYLE,
+    ]
+    by_kind = {}
+    for index in range(4):
+        count = int(np.sum(cause_index == index))
+        if count:
+            kind = kinds[index]
+            by_kind[kind] = by_kind.get(kind, 0) + count
+    split = ObsolescenceSplit(total=n, by_kind=by_kind)
+    return FleetFates(
+        split=split,
+        mean_realized_years=float(units.as_years(realized.mean())),
+        mean_potential_years=float(units.as_years(lifetimes.mean())),
+        utilization=float(realized.mean() / lifetimes.mean()),
+    )

@@ -1,0 +1,126 @@
+"""Shared-channel contention for transmit-only fleets.
+
+Figure 1 says a gateway "may support thousands of devices" — but
+transmit-only sensors cannot listen-before-talk their way around each
+other at scale, so the shared channel itself caps the fan-out.  We model
+the classic unslotted-ALOHA regime: a frame survives if no other frame
+starts within its ±airtime vulnerability window.
+
+This gives the library a principled answer to "how many devices per
+gateway?" as a function of airtime and reporting rate — the capacity
+side of the deployment-hierarchy argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core import units
+
+
+@dataclass(frozen=True)
+class ChannelLoad:
+    """Aggregate offered load on one radio channel."""
+
+    devices: int
+    airtime_s: float
+    interval_s: float
+
+    def __post_init__(self) -> None:
+        if self.devices < 0:
+            raise ValueError("devices must be non-negative")
+        if self.airtime_s <= 0.0:
+            raise ValueError("airtime_s must be positive")
+        if self.interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+
+    @property
+    def offered_erlangs(self) -> float:
+        """Normalized offered traffic G (frame-times per frame-time)."""
+        return self.devices * self.airtime_s / self.interval_s
+
+    def delivery_probability(self) -> float:
+        """Per-frame survival under unslotted ALOHA: ``exp(-2G)``.
+
+        Uncoordinated transmit-only senders are a Poisson arrival
+        process at scale; a frame collides if any other frame starts in
+        its 2x-airtime vulnerability window.
+
+        >>> ChannelLoad(1, 0.001, 3600.0).delivery_probability() > 0.999
+        True
+        """
+        return math.exp(-2.0 * self.offered_erlangs)
+
+    def throughput_erlangs(self) -> float:
+        """Successful traffic S = G exp(-2G); peaks at 1/(2e) ~ 18.4 %."""
+        g = self.offered_erlangs
+        return g * math.exp(-2.0 * g)
+
+
+def max_devices_for_reliability(
+    airtime_s: float,
+    interval_s: float,
+    min_delivery: float = 0.9,
+) -> int:
+    """Largest fleet one channel carries at ``min_delivery`` per-frame.
+
+    Inverts ``exp(-2G) >= min_delivery``:  G <= -ln(p)/2.
+
+    >>> max_devices_for_reliability(0.0014, 3600.0) > 100_000
+    True
+    """
+    if not 0.0 < min_delivery < 1.0:
+        raise ValueError("min_delivery must be in (0, 1)")
+    if airtime_s <= 0.0 or interval_s <= 0.0:
+        raise ValueError("airtime_s and interval_s must be positive")
+    max_g = -math.log(min_delivery) / 2.0
+    return int(max_g * interval_s / airtime_s)
+
+
+def capacity_table(
+    airtimes: dict,
+    interval_s: float = units.HOUR,
+    min_delivery: float = 0.9,
+) -> dict:
+    """``{radio_name: max_devices}`` for a reporting schedule.
+
+    The fan-out reality check behind Figure 1: slow PHYs (LoRa SF12)
+    carry orders of magnitude fewer hourly reporters than 802.15.4.
+    """
+    return {
+        name: max_devices_for_reliability(airtime, interval_s, min_delivery)
+        for name, airtime in airtimes.items()
+    }
+
+
+@dataclass(frozen=True)
+class CongestionPoint:
+    """One row of a density sweep."""
+
+    devices: int
+    offered_erlangs: float
+    delivery_probability: float
+    effective_reports_per_hour: float
+
+
+def density_sweep(
+    airtime_s: float,
+    interval_s: float,
+    device_counts,
+) -> list:
+    """Delivery vs density — where the shared channel saturates."""
+    rows = []
+    for devices in device_counts:
+        load = ChannelLoad(devices, airtime_s, interval_s)
+        p = load.delivery_probability()
+        per_hour = devices * (units.HOUR / interval_s) * p
+        rows.append(
+            CongestionPoint(
+                devices=devices,
+                offered_erlangs=load.offered_erlangs,
+                delivery_probability=p,
+                effective_reports_per_hour=per_hour,
+            )
+        )
+    return rows

@@ -1,0 +1,129 @@
+"""LoRa PHY model: airtime, sensitivity, and regional duty-cycle limits.
+
+The paper's "third-party infrastructure" radio (via Helium).  Airtime
+follows the Semtech LoRa modem designer formula (SX1276 datasheet);
+sensitivity comes from the spreading-factor table at 125 kHz.  US915
+has no duty-cycle cap but dwell-time limits; EU868 caps duty cycle at
+1 % — both matter for how fast a transmit-only node may report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .link import PathLossModel, RadioSpec
+
+#: Receiver sensitivity (dBm) at BW=125 kHz per spreading factor.
+SENSITIVITY_DBM = {
+    7: -123.0,
+    8: -126.0,
+    9: -129.0,
+    10: -132.0,
+    11: -134.5,
+    12: -137.0,
+}
+
+
+@dataclass(frozen=True)
+class LoRaParameters:
+    """One LoRa PHY configuration."""
+
+    spreading_factor: int = 10
+    bandwidth_hz: float = 125_000.0
+    coding_rate: int = 1          # CR index: 1 => 4/5 ... 4 => 4/8
+    preamble_symbols: int = 8
+    explicit_header: bool = True
+    low_datarate_optimize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.spreading_factor not in SENSITIVITY_DBM:
+            raise ValueError(
+                f"spreading_factor must be 7..12, got {self.spreading_factor}"
+            )
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("bandwidth_hz must be positive")
+        if not 1 <= self.coding_rate <= 4:
+            raise ValueError(f"coding_rate index must be 1..4, got {self.coding_rate}")
+
+    @property
+    def symbol_time_s(self) -> float:
+        """Duration of one LoRa symbol."""
+        return (2 ** self.spreading_factor) / self.bandwidth_hz
+
+    def payload_symbols(self, payload_bytes: int) -> int:
+        """Payload symbol count per the SX1276 airtime formula."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        de = 1 if self.low_datarate_optimize else 0
+        ih = 0 if self.explicit_header else 1
+        sf = self.spreading_factor
+        numerator = 8 * payload_bytes - 4 * sf + 28 + 16 - 20 * ih
+        denominator = 4 * (sf - 2 * de)
+        blocks = max(math.ceil(numerator / denominator), 0)
+        return 8 + blocks * (self.coding_rate + 4)
+
+    def airtime_s(self, payload_bytes: int) -> float:
+        """Time on air for one uplink frame carrying ``payload_bytes``.
+
+        >>> p = LoRaParameters(spreading_factor=10)
+        >>> 0.2 < p.airtime_s(24) < 0.5
+        True
+        """
+        preamble = (self.preamble_symbols + 4.25) * self.symbol_time_s
+        payload = self.payload_symbols(payload_bytes) * self.symbol_time_s
+        return preamble + payload
+
+    def bitrate_bps(self) -> float:
+        """Effective PHY bitrate for this configuration."""
+        sf = self.spreading_factor
+        cr = 4.0 / (4.0 + self.coding_rate)
+        return sf * cr * self.bandwidth_hz / (2 ** sf)
+
+    def spec(self, tx_power_dbm: float = 14.0, frequency_hz: float = 915e6) -> RadioSpec:
+        """Materialize a :class:`RadioSpec` for the link model."""
+        return RadioSpec(
+            name=f"lora-sf{self.spreading_factor}",
+            frequency_hz=frequency_hz,
+            tx_power_dbm=tx_power_dbm,
+            sensitivity_dbm=SENSITIVITY_DBM[self.spreading_factor],
+            bitrate_bps=self.bitrate_bps(),
+            per_slope_db=1.8,
+            max_payload_bytes=51 if self.spreading_factor >= 10 else 222,
+        )
+
+
+@dataclass(frozen=True)
+class RegionalLimits:
+    """Regulatory constraints on uplink cadence."""
+
+    name: str
+    duty_cycle: float        # max fraction of time on air (0 = unlimited)
+    dwell_time_s: float      # max single-transmission dwell (0 = unlimited)
+
+    def min_interval_s(self, airtime_s: float) -> float:
+        """Minimum packet interval the regulation allows."""
+        if self.duty_cycle <= 0.0:
+            return 0.0
+        return airtime_s / self.duty_cycle
+
+    def permits(self, airtime_s: float, interval_s: float) -> bool:
+        """True if transmitting ``airtime_s`` every ``interval_s`` is legal."""
+        if self.dwell_time_s > 0.0 and airtime_s > self.dwell_time_s:
+            return False
+        if self.duty_cycle > 0.0 and interval_s < self.min_interval_s(airtime_s):
+            return False
+        return True
+
+
+US915 = RegionalLimits(name="US915", duty_cycle=0.0, dwell_time_s=0.4)
+EU868 = RegionalLimits(name="EU868", duty_cycle=0.01, dwell_time_s=0.0)
+
+
+def suburban_path_loss(embedded: bool = False) -> PathLossModel:
+    """Sub-GHz propagation; concrete penetration costs ~8 dB at 915 MHz."""
+    return PathLossModel(
+        exponent=2.9,
+        shadowing_sigma_db=8.0,
+        penetration_db=8.0 if embedded else 0.0,
+    )

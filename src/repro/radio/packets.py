@@ -1,0 +1,73 @@
+"""Packet and reading primitives shared across the network layer.
+
+The paper's initial devices are transmit-only monitoring sensors: up to
+24-byte payloads (the Helium data-credit accounting unit), a reading,
+and a signature the device can never rotate — which is why §4.1 calls
+their longitudinal trust "limited".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Helium charges one data credit per 24-byte message (§4.4).
+CREDIT_UNIT_BYTES: int = 24
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One sensor observation."""
+
+    kind: str          # e.g. "concrete-health", "strain", "temperature"
+    value: float
+    unit: str = ""
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An uplink frame from a transmit-only device.
+
+    ``signed_with`` names the immutable factory key; verification policy
+    is the backend's problem (devices cannot be re-keyed, per §4.1).
+    """
+
+    source: str
+    created_at: float
+    payload_bytes: int
+    reading: Optional[Reading] = None
+    signed_with: str = ""
+    sequence: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative, got {self.payload_bytes}")
+
+    @property
+    def credit_units(self) -> int:
+        """Data credits this packet costs on a Helium-style network.
+
+        One credit per started 24-byte unit; a zero-byte heartbeat still
+        costs one credit.
+        """
+        if self.payload_bytes == 0:
+            return 1
+        return -(-self.payload_bytes // CREDIT_UNIT_BYTES)  # ceil div
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """A packet's arrival at the backend, as logged by the endpoint."""
+
+    packet: Packet
+    received_at: float
+    via_gateway: str
+    via_backhaul: str
+
+    @property
+    def latency_s(self) -> float:
+        """Creation-to-arrival delay."""
+        return self.received_at - self.packet.created_at

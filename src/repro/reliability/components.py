@@ -1,0 +1,259 @@
+"""Component-level lifetime models for embedded devices and gateways.
+
+The paper (§1) cites conventional wisdom that batteries, electrolytic
+capacitors, and PCB substrates bound mean device lifetime to 10–15
+years, while energy-harvesting design points remove the battery and, by
+running cool and simple, extend the rest.  Each component here maps to a
+named lifetime distribution with parameters drawn from reliability
+handbooks (IPC-6012 for PCBs, Arrhenius scaling for electrolytics), and
+:func:`device_lifetime_model` composes a device as competing risks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core import units
+from .distributions import (
+    CompetingRisks,
+    Exponential,
+    LifetimeDistribution,
+    LogNormal,
+    Weibull,
+)
+
+
+@dataclass(frozen=True)
+class Component:
+    """A named physical part with a lifetime model."""
+
+    name: str
+    model: LifetimeDistribution
+
+    def mean_years(self) -> float:
+        """Expected lifetime in years."""
+        return units.as_years(self.model.mean())
+
+
+def primary_battery(nominal_years: float = 10.0) -> Component:
+    """A primary (non-rechargeable) cell; dominated by self-discharge
+    and electrolyte depletion, concentrating failures near nominal life."""
+    return Component(
+        name="primary-battery",
+        model=Weibull(shape=6.0, scale=units.years(nominal_years)),
+    )
+
+
+def rechargeable_battery(
+    cycle_life: int = 2000, cycles_per_day: float = 1.0
+) -> Component:
+    """A secondary cell whose life is cycle-count bound.
+
+    ``cycle_life`` full cycles at ``cycles_per_day`` gives the
+    characteristic life; a shape of 5 reflects tight manufacturing
+    control around the rated cycle count.
+    """
+    if cycles_per_day <= 0.0:
+        raise ValueError("cycles_per_day must be positive")
+    life = units.days(cycle_life / cycles_per_day)
+    return Component(name="rechargeable-battery", model=Weibull(shape=5.0, scale=life))
+
+
+def electrolytic_capacitor(
+    rated_hours_at_rated_temp: float = 5000.0,
+    rated_temp_c: float = 105.0,
+    ambient_temp_c: float = 35.0,
+) -> Component:
+    """Aluminium electrolytic capacitor with Arrhenius-law derating.
+
+    Life doubles per 10 °C below the rated temperature — the standard
+    industry rule.  At 35 °C ambient, a 5,000 h @ 105 °C part rates
+    around 73 years characteristic life, but real field populations show
+    wide dispersion (log-normal sigma 0.6).
+    """
+    doublings = (rated_temp_c - ambient_temp_c) / 10.0
+    life_hours = rated_hours_at_rated_temp * (2.0 ** doublings)
+    return Component(
+        name="electrolytic-capacitor",
+        model=LogNormal(median=units.hours(life_hours), sigma=0.6),
+    )
+
+
+def ceramic_capacitor() -> Component:
+    """MLCC — the low-power design-point replacement for electrolytics.
+
+    No wet electrolyte to dry out; field failures are dominated by rare
+    flex cracks, modelled as a long constant-hazard floor.
+    """
+    return Component(name="ceramic-capacitor", model=Exponential(scale=units.years(400.0)))
+
+
+def pcb_substrate(quality_class: int = 2) -> Component:
+    """Rigid PCB per IPC-6012 quality classes.
+
+    Class 1 (consumer) wears out fastest via CAF and delamination; class
+    3 (high-reliability) is built for long service.  Medians: 20 / 40 /
+    80 years with log-normal dispersion.
+    """
+    medians = {1: 20.0, 2: 40.0, 3: 80.0}
+    if quality_class not in medians:
+        raise ValueError(f"quality_class must be 1, 2, or 3, got {quality_class}")
+    return Component(
+        name=f"pcb-class{quality_class}",
+        model=LogNormal(median=units.years(medians[quality_class]), sigma=0.5),
+    )
+
+
+def solder_joints(thermal_cycles_per_day: float = 2.0) -> Component:
+    """Solder fatigue under thermal cycling (Coffin–Manson shaped).
+
+    Low-power devices cycle less and shallower; characteristic life is
+    inversely proportional to daily cycle count around a 30k-cycle
+    rating.
+    """
+    if thermal_cycles_per_day <= 0.0:
+        raise ValueError("thermal_cycles_per_day must be positive")
+    life = units.days(30000.0 / thermal_cycles_per_day)
+    return Component(name="solder-joints", model=Weibull(shape=2.5, scale=life))
+
+
+def mcu_flash(write_cycles_per_day: float = 24.0, endurance: float = 1e5) -> Component:
+    """MCU flash endurance for devices that journal state.
+
+    Transmit-only sensors that never rewrite flash effectively remove
+    this risk; pass a tiny ``write_cycles_per_day`` for them.
+    """
+    if write_cycles_per_day <= 0.0:
+        raise ValueError("write_cycles_per_day must be positive")
+    life = units.days(endurance / write_cycles_per_day)
+    return Component(name="mcu-flash", model=Weibull(shape=3.0, scale=life))
+
+
+def radio_frontend() -> Component:
+    """RF front-end: random ESD/surge events plus slow PA degradation."""
+    return Component(
+        name="radio-frontend",
+        model=CompetingRisks(
+            risks=(
+                Exponential(scale=units.years(120.0)),
+                Weibull(shape=3.0, scale=units.years(60.0)),
+            )
+        ),
+    )
+
+
+def harvester_transducer(kind: str = "cathodic") -> Component:
+    """The energy-harvesting transducer itself.
+
+    ``cathodic`` (rebar-corrosion ambient battery, refs [20, 21]) lasts
+    as long as the structure corrodes — modelled on concrete service
+    life.  ``solar`` degrades ~0.5 %/yr with encapsulant failure around
+    30 years; ``vibration`` piezo elements fatigue sooner.
+    """
+    models: Dict[str, LifetimeDistribution] = {
+        "cathodic": LogNormal(median=units.years(60.0), sigma=0.4),
+        "solar": Weibull(shape=4.0, scale=units.years(32.0)),
+        "vibration": Weibull(shape=3.0, scale=units.years(25.0)),
+        "thermal": LogNormal(median=units.years(45.0), sigma=0.5),
+    }
+    if kind not in models:
+        raise ValueError(f"unknown harvester kind {kind!r}; options: {sorted(models)}")
+    return Component(name=f"harvester-{kind}", model=models[kind])
+
+
+def enclosure_sealing(embedded_in_concrete: bool = False) -> Component:
+    """Ingress protection; embedding in the concrete matrix shields the
+    package from UV and handling at the cost of zero reparability."""
+    median = 70.0 if embedded_in_concrete else 35.0
+    return Component(
+        name="enclosure",
+        model=LogNormal(median=units.years(median), sigma=0.45),
+    )
+
+
+def battery_powered_device(nominal_battery_years: float = 12.0) -> CompetingRisks:
+    """Composite lifetime model for a conventional battery IoT node.
+
+    Battery + electrolytic caps + consumer PCB + solder + flash + radio:
+    the configuration whose mean the paper pegs at 10–15 years.
+    """
+    parts = [
+        primary_battery(nominal_battery_years),
+        electrolytic_capacitor(),
+        pcb_substrate(quality_class=1),
+        solder_joints(thermal_cycles_per_day=2.0),
+        mcu_flash(write_cycles_per_day=4.0),
+        radio_frontend(),
+    ]
+    return CompetingRisks(risks=tuple(p.model for p in parts))
+
+
+def energy_harvesting_device(
+    harvester_kind: str = "cathodic", embedded: bool = True
+) -> CompetingRisks:
+    """Composite lifetime model for a batteryless harvesting node.
+
+    No battery, ceramic caps instead of electrolytic, class-3 PCB, cool
+    operation (few thermal cycles), no flash journaling — the design
+    points the paper argues "make them more robust to long-term
+    failures".
+    """
+    parts = [
+        harvester_transducer(harvester_kind),
+        ceramic_capacitor(),
+        pcb_substrate(quality_class=3),
+        solder_joints(thermal_cycles_per_day=0.5),
+        mcu_flash(write_cycles_per_day=0.05),
+        radio_frontend(),
+        enclosure_sealing(embedded_in_concrete=embedded),
+    ]
+    return CompetingRisks(risks=tuple(p.model for p in parts))
+
+
+def gateway_platform(networked: bool = True) -> CompetingRisks:
+    """Raspberry-Pi-class gateway: SD-card wear dominates, plus PSU
+    electrolytics and the board itself.
+
+    The paper notes one non-networked Pi ran unattended for nearly eight
+    years; our median time-to-first-fault for a networked unit is ~7
+    years, dominated by storage wear and power-supply capacitors.
+    """
+    sd_card = Weibull(shape=2.0, scale=units.years(8.0 if networked else 12.0))
+    psu = electrolytic_capacitor(ambient_temp_c=45.0).model
+    board = pcb_substrate(quality_class=2).model
+    return CompetingRisks(risks=(sd_card, psu, board))
+
+
+def device_lifetime_model(kind: str) -> CompetingRisks:
+    """Factory keyed by the device archetypes used across benchmarks."""
+    factories = {
+        "battery": lambda: battery_powered_device(),
+        "battery-premium": lambda: battery_powered_device(nominal_battery_years=15.0),
+        "harvesting": lambda: energy_harvesting_device(),
+        "harvesting-solar": lambda: energy_harvesting_device("solar", embedded=False),
+        "gateway": lambda: gateway_platform(),
+    }
+    if kind not in factories:
+        raise ValueError(f"unknown device kind {kind!r}; options: {sorted(factories)}")
+    return factories[kind]()
+
+
+def dominant_risk(
+    model: CompetingRisks, rng, n: int = 2000
+) -> List[Tuple[int, float]]:
+    """Empirically rank which constituent risk fires first.
+
+    Returns ``(risk_index, fraction_of_failures)`` sorted descending —
+    useful for the battery-vs-harvesting benchmark narrative.
+    """
+    import numpy as np
+
+    draws = np.stack([risk.sample(rng, n) for risk in model.risks])
+    winners = draws.argmin(axis=0)
+    counts = np.bincount(winners, minlength=len(model.risks))
+    ranked = sorted(
+        ((int(i), float(c) / n) for i, c in enumerate(counts)),
+        key=lambda pair: -pair[1],
+    )
+    return ranked

@@ -1,0 +1,154 @@
+"""Maintenance accounting: person-hours, truck rolls, and attention budgets.
+
+§3.1's scaling argument is about labor: "there are a finite number of
+person-hours available for the maintenance and upkeep of sensing
+systems; as the number of devices grows, the available hours per device
+falls."  ``MaintenanceLedger`` records every intervention; ``AttentionBudget``
+inverts the argument to compute the maximum sustainable fleet size for a
+given staff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import units
+
+#: The paper's "very generous" per-device total replacement time
+#: including travel (§1): 20 minutes.
+PAPER_REPLACEMENT_MINUTES: float = 20.0
+
+
+@dataclass(frozen=True)
+class Intervention:
+    """One human touch of the system."""
+
+    time: float
+    tier: str          # device | gateway | backhaul | cloud
+    target: str        # entity name
+    action: str        # replace | repair | upgrade | inspect | commission
+    labor_hours: float
+    cost_usd: float = 0.0
+
+
+@dataclass
+class MaintenanceLedger:
+    """Append-only record of interventions for one deployment/study."""
+
+    interventions: List[Intervention] = field(default_factory=list)
+
+    def log(
+        self,
+        time: float,
+        tier: str,
+        target: str,
+        action: str,
+        labor_hours: float,
+        cost_usd: float = 0.0,
+    ) -> None:
+        """Record an intervention."""
+        if labor_hours < 0.0:
+            raise ValueError(f"labor_hours must be non-negative, got {labor_hours}")
+        self.interventions.append(
+            Intervention(time, tier, target, action, labor_hours, cost_usd)
+        )
+
+    def total_hours(self, tier: Optional[str] = None) -> float:
+        """Total person-hours, optionally restricted to one tier."""
+        return sum(
+            i.labor_hours
+            for i in self.interventions
+            if tier is None or i.tier == tier
+        )
+
+    def total_cost(self, tier: Optional[str] = None) -> float:
+        """Total intervention cost in USD."""
+        return sum(
+            i.cost_usd for i in self.interventions if tier is None or i.tier == tier
+        )
+
+    def count(self, tier: Optional[str] = None, action: Optional[str] = None) -> int:
+        """Number of interventions matching the filters."""
+        return sum(
+            1
+            for i in self.interventions
+            if (tier is None or i.tier == tier)
+            and (action is None or i.action == action)
+        )
+
+    def by_tier(self) -> Dict[str, float]:
+        """Person-hours broken down per hierarchy tier."""
+        totals: Dict[str, float] = {}
+        for i in self.interventions:
+            totals[i.tier] = totals.get(i.tier, 0.0) + i.labor_hours
+        return totals
+
+    def hours_per_year(self, horizon: float) -> float:
+        """Mean person-hours per year over ``horizon`` seconds."""
+        if horizon <= 0.0:
+            raise ValueError("horizon must be positive")
+        return self.total_hours() / units.as_years(horizon)
+
+    def device_touches(self) -> int:
+        """Interventions at the device tier — the paper's experiment
+        stipulates this stays at zero."""
+        return self.count(tier="device")
+
+
+def fleet_replacement_hours(
+    device_count: int, minutes_per_device: float = PAPER_REPLACEMENT_MINUTES
+) -> float:
+    """Person-hours to replace an entire fleet once (the §1 arithmetic).
+
+    >>> round(fleet_replacement_hours(591_315))
+    197105
+    """
+    if device_count < 0:
+        raise ValueError(f"device_count must be non-negative, got {device_count}")
+    if minutes_per_device <= 0.0:
+        raise ValueError("minutes_per_device must be positive")
+    return device_count * minutes_per_device / 60.0
+
+
+@dataclass(frozen=True)
+class AttentionBudget:
+    """A fixed maintenance staff, inverted into sustainable fleet size.
+
+    ``staff`` full-time technicians at ``hours_per_year`` each give the
+    total annual attention supply; dividing by the per-device annual
+    demand gives the ceiling on fleet size that staff can sustain.
+    """
+
+    staff: int
+    hours_per_year: float = 1800.0
+
+    def annual_supply(self) -> float:
+        """Total person-hours available per year."""
+        if self.staff < 0:
+            raise ValueError("staff must be non-negative")
+        return self.staff * self.hours_per_year
+
+    def sustainable_fleet(
+        self,
+        device_mtbf_years: float,
+        minutes_per_touch: float = PAPER_REPLACEMENT_MINUTES,
+    ) -> int:
+        """Largest fleet whose steady-state repairs fit the staff budget.
+
+        A device failing on average every ``device_mtbf_years`` demands
+        ``minutes_per_touch / mtbf`` minutes per year.
+        """
+        if device_mtbf_years <= 0.0:
+            raise ValueError("device_mtbf_years must be positive")
+        hours_per_device_year = (minutes_per_touch / 60.0) / device_mtbf_years
+        if hours_per_device_year == 0.0:
+            return 0
+        return int(self.annual_supply() / hours_per_device_year)
+
+    def hours_per_device(self, fleet_size: int) -> float:
+        """Annual attention available per device at a given fleet size —
+        the quantity §3.1 observes must fall as fleets grow."""
+        if fleet_size <= 0:
+            raise ValueError("fleet_size must be positive")
+        return self.annual_supply() / fleet_size

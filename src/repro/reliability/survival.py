@@ -1,0 +1,151 @@
+"""Non-parametric survival analysis for simulated fleets.
+
+The 50-year experiment is a longitudinal survival study; this module
+provides the estimators its analysis needs: Kaplan–Meier with right
+censoring (devices still alive when the study window closes), median
+survival extraction, and a piecewise-exponential hazard summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """A step-function estimate of S(t).
+
+    ``times`` are the event times (sorted); ``survival[i]`` is S(t) for
+    t in [times[i], times[i+1]).  S(0) is implicitly 1.
+    """
+
+    times: np.ndarray
+    survival: np.ndarray
+    at_risk: np.ndarray
+
+    def at(self, t: float) -> float:
+        """Survival probability at time ``t``."""
+        if t < 0.0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        if len(self.times) == 0 or t < self.times[0]:
+            return 1.0
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        return float(self.survival[index])
+
+    def median(self) -> Optional[float]:
+        """First time S(t) drops to 0.5 or below; None if it never does."""
+        below = np.nonzero(self.survival <= 0.5)[0]
+        if len(below) == 0:
+            return None
+        return float(self.times[below[0]])
+
+    def quantile(self, q: float) -> Optional[float]:
+        """First time the failed fraction reaches ``q`` (0 < q < 1)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        below = np.nonzero(self.survival <= 1.0 - q)[0]
+        if len(below) == 0:
+            return None
+        return float(self.times[below[0]])
+
+
+def kaplan_meier(
+    durations: Sequence[float], observed: Optional[Sequence[bool]] = None
+) -> SurvivalCurve:
+    """Kaplan–Meier estimator with right censoring.
+
+    ``durations[i]`` is the time unit *i* was observed; ``observed[i]``
+    is True if it failed at that time, False if it was censored (still
+    alive at study end).  Omitting ``observed`` treats every duration as
+    a failure.
+
+    >>> curve = kaplan_meier([1.0, 2.0, 3.0], [True, True, False])
+    >>> round(curve.at(2.5), 3)
+    0.333
+    """
+    durations = np.asarray(durations, dtype=float)
+    if durations.ndim != 1 or len(durations) == 0:
+        raise ValueError("durations must be a non-empty 1-D sequence")
+    if np.any(durations < 0.0):
+        raise ValueError("durations must be non-negative")
+    if observed is None:
+        events = np.ones(len(durations), dtype=bool)
+    else:
+        events = np.asarray(observed, dtype=bool)
+        if events.shape != durations.shape:
+            raise ValueError("observed must match durations in length")
+
+    order = np.argsort(durations, kind="stable")
+    durations = durations[order]
+    events = events[order]
+
+    unique_times = np.unique(durations[events])
+    n = len(durations)
+    survival = []
+    at_risk_out = []
+    s = 1.0
+    for t in unique_times:
+        at_risk = int(np.sum(durations >= t))
+        deaths = int(np.sum((durations == t) & events))
+        if at_risk > 0:
+            s *= 1.0 - deaths / at_risk
+        survival.append(s)
+        at_risk_out.append(at_risk)
+    return SurvivalCurve(
+        times=unique_times,
+        survival=np.asarray(survival),
+        at_risk=np.asarray(at_risk_out),
+    )
+
+
+def restricted_mean_survival(
+    curve: SurvivalCurve, horizon: float
+) -> float:
+    """Area under S(t) up to ``horizon`` — mean lifetime within a window.
+
+    The natural summary for a study whose window (50 years) is shorter
+    than some units' lives.
+    """
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    grid_times = [0.0]
+    grid_values = [1.0]
+    for t, s in zip(curve.times, curve.survival):
+        if t > horizon:
+            break
+        grid_times.append(float(t))
+        grid_values.append(float(s))
+    grid_times.append(horizon)
+    grid_values.append(curve.at(horizon))
+    total = 0.0
+    for i in range(len(grid_times) - 1):
+        width = grid_times[i + 1] - grid_times[i]
+        total += width * grid_values[i]  # step function: left value holds
+    return total
+
+
+def piecewise_hazard(
+    durations: Sequence[float],
+    observed: Sequence[bool],
+    bin_edges: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Piecewise-constant hazard estimate over ``bin_edges``.
+
+    Returns ``(edges, hazard_per_bin)`` where hazard is events per unit
+    exposure time within each bin — the empirical bathtub curve.
+    """
+    durations = np.asarray(durations, dtype=float)
+    events = np.asarray(observed, dtype=bool)
+    edges = np.asarray(bin_edges, dtype=float)
+    if len(edges) < 2 or np.any(np.diff(edges) <= 0.0):
+        raise ValueError("bin_edges must be increasing with >= 2 entries")
+    hazards = np.zeros(len(edges) - 1)
+    for i in range(len(edges) - 1):
+        lo, hi = edges[i], edges[i + 1]
+        exposure = np.clip(np.minimum(durations, hi) - lo, 0.0, None).sum()
+        deaths = int(np.sum((durations >= lo) & (durations < hi) & events))
+        hazards[i] = deaths / exposure if exposure > 0.0 else 0.0
+    return edges, hazards

@@ -1,0 +1,112 @@
+"""Tests for repro.analysis.asn."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NAMED_ISPS,
+    PAPER_GATEWAY_COUNT,
+    PAPER_TOP10_SHARE,
+    PAPER_UNIQUE_ASES,
+    calibrate_exponent,
+    concentration,
+    survival_correlation_groups,
+    synthesize_assignments,
+    zipf_mandelbrot_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_mandelbrot_weights(200, 1.0, 2.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_mandelbrot_weights(50, 1.2, 1.0)
+        assert (np.diff(weights) < 0).all()
+
+    def test_higher_exponent_more_concentrated(self):
+        flat = zipf_mandelbrot_weights(100, 0.5, 2.0)[:10].sum()
+        steep = zipf_mandelbrot_weights(100, 2.0, 2.0)[:10].sum()
+        assert steep > flat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_mandelbrot_weights(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_mandelbrot_weights(10, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_mandelbrot_weights(10, 1.0, -1.0)
+
+
+class TestCalibration:
+    def test_exponent_hits_target(self):
+        exponent = calibrate_exponent(n_ases=200, target_top10=0.5)
+        top10 = zipf_mandelbrot_weights(200, exponent, 2.0)[:10].sum()
+        assert top10 == pytest.approx(0.5, abs=0.005)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            calibrate_exponent(target_top10=1.0)
+
+
+class TestSynthesis:
+    def test_reproduces_paper_measurement(self, rng):
+        # §4.3: 12,400 gateways, top-10 ASes ~50 %, ~200 unique ASes.
+        assignments = synthesize_assignments(rng=rng)
+        report = concentration(assignments)
+        assert report.total_nodes == PAPER_GATEWAY_COUNT
+        assert report.top10_share == pytest.approx(PAPER_TOP10_SHARE, abs=0.05)
+        assert abs(report.unique_ases - PAPER_UNIQUE_ASES) <= 30
+        assert report.matches_paper()
+
+    def test_named_isps_lead(self, rng):
+        assignments = synthesize_assignments(rng=rng)
+        report = concentration(assignments)
+        # Comcast/Spectrum/Verizon are the top ranks: roughly half of
+        # the top-10 mass ("roughly half" of gateways per the paper).
+        assert 0.15 < report.named_isp_share < 0.55
+
+    def test_rng_required(self):
+        with pytest.raises(ValueError):
+            synthesize_assignments(rng=None)
+
+    def test_deterministic_for_seed(self):
+        a = synthesize_assignments(n_nodes=500, rng=np.random.default_rng(1))
+        b = synthesize_assignments(n_nodes=500, rng=np.random.default_rng(1))
+        assert a == b
+
+
+class TestConcentration:
+    def test_single_as(self):
+        report = concentration([100] * 50)
+        assert report.unique_ases == 1
+        assert report.top1_share == 1.0
+        assert report.hhi == 1.0
+
+    def test_uniform_ases(self):
+        report = concentration(list(range(100)))
+        assert report.unique_ases == 100
+        assert report.top10_share == pytest.approx(0.1)
+        assert report.hhi == pytest.approx(0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concentration([])
+
+    def test_named_isp_share(self):
+        asns = [NAMED_ISPS["Comcast"]] * 5 + [64512] * 5
+        assert concentration(asns).named_isp_share == pytest.approx(0.5)
+
+
+class TestCorrelationGroups:
+    def test_counts(self):
+        groups = survival_correlation_groups([1, 1, 2, 3, 3, 3])
+        assert groups == {1: 2, 2: 1, 3: 3}
+
+    def test_largest_group_is_systemic_risk(self, rng):
+        assignments = synthesize_assignments(rng=rng)
+        groups = survival_correlation_groups(assignments)
+        largest = max(groups.values())
+        # One AS outage takes out >5 % of the network at paper shape.
+        assert largest / len(assignments) > 0.05

@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    coverage_series,
+    export_all_figures,
+    survival_series,
+    sweep_series,
+    tco_series_rows,
+    write_csv,
+)
+from repro.core import en_masse_fleet, units
+from repro.econ import tco_series
+from repro.reliability import kaplan_meier
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ("a", "b"), [(1, 2), (3, 4)])
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "x.csv", ("a",), [(1,)])
+        assert path.exists()
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", ("a", "b"), [(1,)])
+
+    def test_empty_header_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", (), [])
+
+
+class TestSeriesBuilders:
+    def test_coverage_series(self):
+        import numpy as np
+
+        timeline = en_masse_fleet(10, lambda n: np.full(n, units.years(5.0)))
+        header, rows = coverage_series(timeline, units.years(10.0))
+        assert header == ("years", "coverage")
+        assert rows[0] == (0.0, 1.0)
+        assert rows[-1][1] == 0.0  # all dead by year 10
+
+    def test_survival_series_starts_at_one(self):
+        curve = kaplan_meier([units.years(1.0), units.years(2.0)])
+        header, rows = survival_series(curve)
+        assert rows[0] == (0.0, 1.0)
+        assert rows[-1][1] == 0.0
+
+    def test_tco_rows(self):
+        header, rows = tco_series_rows(tco_series(10, horizon_years=10.0))
+        assert header == ("years", "fiber_usd", "cellular_usd")
+        assert len(rows) == 11
+
+    def test_sweep_series_validation(self):
+        with pytest.raises(ValueError):
+            sweep_series([1.0], [1.0, 2.0], "x", "y")
+
+
+class TestExportAll:
+    def test_exports_every_figure(self, tmp_path):
+        written = export_all_figures(tmp_path, seed=1)
+        names = {p.name for p in written}
+        assert names == {
+            "e05_tco.csv",
+            "e10_survival_battery.csv",
+            "e10_survival_harvesting.csv",
+            "e11_coverage_pipelined.csv",
+            "e11_coverage_en_masse.csv",
+            "e14_air_quality.csv",
+            "e15_channel.csv",
+        }
+        for path in written:
+            rows = read_csv(path)
+            assert len(rows) > 2  # header plus data

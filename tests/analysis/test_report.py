@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.report."""
+
+from repro.analysis import (
+    ExperimentDiary,
+    PaperComparison,
+    comparison_table,
+)
+from repro.core import units
+from repro.reliability import MaintenanceLedger
+
+
+class TestExperimentDiary:
+    def test_note_and_render_chronological(self):
+        diary = ExperimentDiary()
+        diary.note(units.years(5.0), "maintenance", "swapped gateway")
+        diary.note(units.years(1.0), "cost", "domain renewal $20")
+        text = diary.render()
+        assert text.index("domain renewal") < text.index("swapped gateway")
+        assert "[yr   1.00]" in text
+        assert "[yr   5.00]" in text
+
+    def test_empty_diary_notes_unattended(self):
+        assert "unattended" in ExperimentDiary().render()
+
+    def test_from_maintenance(self):
+        ledger = MaintenanceLedger()
+        ledger.log(units.years(2.0), "gateway", "gw-1", "replace", 2.5, 900.0)
+        diary = ExperimentDiary()
+        diary.from_maintenance(ledger)
+        assert len(diary.entries) == 1
+        assert "replace gw-1" in diary.entries[0].text
+
+    def test_from_sim_log(self, sim):
+        sim.call_at(10.0, lambda: sim.record("sunset", "cell-1", generation="2G"))
+        sim.call_at(20.0, lambda: sim.record("ignored-channel", "x"))
+        sim.run_until(30.0)
+        diary = ExperimentDiary()
+        diary.from_sim_log(sim)
+        assert len(diary.entries) == 1
+        assert "sunset" in diary.entries[0].text
+
+
+class TestPaperComparison:
+    def test_row_format(self):
+        row = PaperComparison(
+            experiment="E1",
+            claim="LA replacement labor",
+            paper_value="~200,000 h",
+            measured_value="197,105 h",
+            holds=True,
+        )
+        text = row.format()
+        assert "E1" in text
+        assert "HOLDS" in text
+
+    def test_differs_status(self):
+        row = PaperComparison("E9", "c", "p", "m", holds=False)
+        assert "DIFFERS" in row.format()
+
+    def test_table(self):
+        rows = [
+            PaperComparison("E1", "a", "1", "1", True),
+            PaperComparison("E2", "b", "2", "3", False),
+        ]
+        table = comparison_table(rows)
+        assert table.count("\n") == 3  # header + separator + 2 rows
+        assert "| Exp |" in table

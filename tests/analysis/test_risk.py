@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.risk."""
+
+import pytest
+
+from repro.analysis import (
+    correlated_failure,
+    dependency_graph,
+    redundancy_histogram,
+    single_points_of_failure,
+    worst_domains,
+)
+from repro.core import Entity, Hierarchy, Simulation
+
+
+class Dev(Entity):
+    TIER = "device"
+
+
+class Gw(Entity):
+    TIER = "gateway"
+
+
+class Bh(Entity):
+    TIER = "backhaul"
+
+
+class Cl(Entity):
+    TIER = "cloud"
+
+
+def build(sim, redundancy=1):
+    cloud = Cl(sim)
+    backhaul = Bh(sim)
+    backhaul.add_dependency(cloud)
+    gateways = [Gw(sim) for _ in range(2)]
+    for index, gateway in enumerate(gateways):
+        gateway.add_dependency(backhaul)
+        gateway.tags["asn"] = str(7922 if index == 0 else 701)
+    devices = [Dev(sim) for _ in range(6)]
+    for index, device in enumerate(devices):
+        device.add_dependency(gateways[index % 2])
+        if redundancy == 2:
+            device.add_dependency(gateways[(index + 1) % 2])
+    hierarchy = Hierarchy()
+    hierarchy.extend([cloud, backhaul, *gateways, *devices])
+    for entity in hierarchy.entities:
+        entity.deploy()
+    return hierarchy, cloud, backhaul, gateways, devices
+
+
+class TestDependencyGraph:
+    def test_nodes_and_edges(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim)
+        graph = dependency_graph(hierarchy)
+        assert graph.number_of_nodes() == 10
+        assert graph.has_edge(devices[0].name, gateways[0].name)
+        assert graph.has_edge(backhaul.name, cloud.name)
+        assert graph.nodes[devices[0].name]["tier"] == "device"
+
+
+class TestSinglePointsOfFailure:
+    def test_backhaul_is_biggest_spof(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim)
+        spofs = single_points_of_failure(hierarchy)
+        assert spofs[0].name in (backhaul.name, cloud.name)
+        assert spofs[0].stranded_devices == 6
+
+    def test_redundant_gateways_not_spofs(self, sim):
+        hierarchy, *_ = build(sim, redundancy=2)
+        spofs = single_points_of_failure(hierarchy)
+        gateway_spofs = [s for s in spofs if s.tier == "gateway"]
+        assert gateway_spofs == []
+
+    def test_dead_entities_skipped(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim)
+        gateways[0].fail()
+        spofs = single_points_of_failure(hierarchy)
+        assert all(s.name != gateways[0].name for s in spofs)
+
+
+class TestRedundancyHistogram:
+    def test_single_homed(self, sim):
+        hierarchy, *_ = build(sim, redundancy=1)
+        assert redundancy_histogram(hierarchy) == {1: 6}
+
+    def test_dual_homed(self, sim):
+        hierarchy, *_ = build(sim, redundancy=2)
+        assert redundancy_histogram(hierarchy) == {2: 6}
+
+    def test_failure_shifts_buckets(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim, redundancy=2)
+        gateways[0].fail()
+        assert redundancy_histogram(hierarchy) == {1: 6}
+
+
+class TestCorrelatedFailure:
+    def test_as_outage_counts_losses(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim)
+        result = correlated_failure(hierarchy, "asn", "7922")
+        assert result.members == 1
+        assert result.devices_lost == 3
+        assert result.loss_fraction == pytest.approx(0.5)
+
+    def test_restores_state(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim)
+        correlated_failure(hierarchy, "asn", "7922")
+        assert gateways[0].alive
+
+    def test_unknown_domain_no_loss(self, sim):
+        hierarchy, *_ = build(sim)
+        result = correlated_failure(hierarchy, "asn", "99999")
+        assert result.members == 0
+        assert result.devices_lost == 0
+
+    def test_worst_domains_ranked(self, sim):
+        hierarchy, cloud, backhaul, gateways, devices = build(sim)
+        # Skew: give gateway 0 an extra device so asn 7922 dominates.
+        extra = Dev(sim)
+        extra.add_dependency(gateways[0])
+        extra.deploy()
+        hierarchy.add(extra)
+        ranked = worst_domains(hierarchy, "asn")
+        assert ranked[0].domain == "asn=7922"
+        assert ranked[0].devices_lost >= ranked[-1].devices_lost

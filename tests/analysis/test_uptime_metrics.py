@@ -1,0 +1,141 @@
+"""Tests for repro.analysis.uptime and repro.analysis.metrics."""
+
+import pytest
+
+from repro.analysis import (
+    FactorComparison,
+    MonteCarloUptime,
+    Summary,
+    entity_availability,
+    first_crossing,
+    interval_coverage,
+    longest_gap,
+    summarize_samples,
+)
+from repro.core import Entity, units
+
+
+class TestIntervalCoverage:
+    def test_basic(self):
+        assert interval_coverage([0.5, 1.5], 0.0, 4.0, interval=1.0) == 0.5
+
+    def test_full(self):
+        arrivals = [i + 0.5 for i in range(10)]
+        assert interval_coverage(arrivals, 0.0, 10.0, interval=1.0) == 1.0
+
+    def test_empty(self):
+        assert interval_coverage([], 0.0, 10.0, interval=1.0) == 0.0
+
+    def test_out_of_window_ignored(self):
+        assert interval_coverage([-1.0, 100.0], 0.0, 10.0, interval=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_coverage([], 5.0, 5.0)
+        with pytest.raises(ValueError):
+            interval_coverage([], 0.0, 1.0, interval=0.0)
+        with pytest.raises(ValueError):
+            interval_coverage([], 0.0, units.DAY, interval=units.WEEK)
+
+
+class TestLongestGap:
+    def test_gaps_include_edges(self):
+        assert longest_gap([5.0], 0.0, 10.0) == 5.0
+
+    def test_interior_gap(self):
+        assert longest_gap([1.0, 9.0], 0.0, 10.0) == 8.0
+
+    def test_no_arrivals(self):
+        assert longest_gap([], 0.0, 10.0) == 10.0
+
+
+class TestEntityAvailability:
+    def test_alive_whole_window(self, sim):
+        class Node(Entity):
+            TIER = "device"
+
+        node = Node(sim)
+        node.deploy()
+        sim.run_until(100.0)
+        assert entity_availability(sim, node.name, 0.0, 100.0) == 1.0
+
+    def test_fails_midway(self, sim):
+        class Node(Entity):
+            TIER = "device"
+
+        node = Node(sim)
+        node.deploy()
+        sim.call_at(40.0, node.fail)
+        sim.run_until(100.0)
+        assert entity_availability(sim, node.name, 0.0, 100.0) == pytest.approx(0.4)
+
+
+class TestMonteCarloUptime:
+    def test_statistics(self):
+        mc = MonteCarloUptime.from_samples([0.9, 1.0, 0.8, 0.95, 0.85])
+        assert mc.runs == 5
+        assert mc.worst == 0.8
+        assert 0.8 <= mc.p5 <= mc.p50 <= mc.p95 <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloUptime.from_samples([])
+
+
+class TestSummary:
+    def test_mean_and_ci(self):
+        s = summarize_samples([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.n == 3
+        lo, hi = s.ci95
+        assert lo < 2.0 < hi
+
+    def test_single_sample_no_ci(self):
+        s = summarize_samples([5.0])
+        assert s.ci95_half_width == 0.0
+
+    def test_format(self):
+        assert "±" in summarize_samples([1.0, 2.0]).format()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+
+class TestFactorComparison:
+    def test_winner_higher_is_better(self):
+        c = FactorComparison("a", "b", 10.0, 5.0)
+        assert c.winner == "a"
+        assert c.factor == 2.0
+
+    def test_winner_lower_is_better(self):
+        c = FactorComparison("a", "b", 10.0, 5.0, higher_is_better=False)
+        assert c.winner == "b"
+
+    def test_tie(self):
+        assert FactorComparison("a", "b", 1.0, 1.0).winner == "tie"
+
+    def test_zero_handling(self):
+        assert FactorComparison("a", "b", 1.0, 0.0).factor == float("inf")
+
+    def test_format(self):
+        assert "by" in FactorComparison("a", "b", 2.0, 1.0).format()
+
+
+class TestFirstCrossing:
+    def test_interpolated_crossing(self):
+        xs = [0.0, 1.0, 2.0]
+        a = [2.0, 1.0, 0.0]
+        b = [0.5, 0.5, 0.5]
+        x = first_crossing(xs, a, b)
+        assert x == pytest.approx(1.5)
+
+    def test_no_crossing(self):
+        assert first_crossing([0, 1], [2, 2], [1, 1]) is None
+
+    def test_starts_below(self):
+        assert first_crossing([0, 1], [0, 0], [1, 1]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            first_crossing([0], [1], [2])

@@ -1,0 +1,91 @@
+"""Tests for repro.city.airquality (§2 spatial-granularity claim)."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    PollutionFieldConfig,
+    density_study,
+    evaluate_density,
+    nearest_sensor_reconstruction,
+    synthesize_field,
+)
+
+
+def small_config(**kw):
+    defaults = dict(extent_m=3000.0, resolution_m=100.0)
+    defaults.update(kw)
+    return PollutionFieldConfig(**defaults)
+
+
+class TestSynthesis:
+    def test_shape(self, rng):
+        config = small_config()
+        surface = synthesize_field(config, rng)
+        assert surface.shape == (30, 30)
+
+    def test_positive_levels(self, rng):
+        surface = synthesize_field(small_config(), rng)
+        assert surface.min() > 0.0
+
+    def test_spatial_structure_present(self, rng):
+        # Adjacent cells correlate far more than distant ones.
+        surface = synthesize_field(small_config(), rng)
+        adjacent = np.corrcoef(surface[:-1, :].ravel(), surface[1:, :].ravel())[0, 1]
+        shifted = np.corrcoef(surface[:15, :].ravel(), surface[15:, :].ravel())[0, 1]
+        assert adjacent > 0.8
+        assert adjacent > abs(shifted)
+
+    def test_roads_raise_levels(self, rng):
+        config_roads = small_config(n_roads=8, road_peak=30.0)
+        config_clean = small_config(n_roads=0)
+        with_roads = synthesize_field(config_roads, np.random.default_rng(1)).mean()
+        without = synthesize_field(config_clean, np.random.default_rng(1)).mean()
+        assert with_roads > without
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PollutionFieldConfig(extent_m=0.0)
+        with pytest.raises(ValueError):
+            PollutionFieldConfig(extent_m=100.0, resolution_m=200.0)
+        with pytest.raises(ValueError):
+            PollutionFieldConfig(correlation_length_m=0.0)
+
+
+class TestReconstruction:
+    def test_sensor_cells_exact(self, rng):
+        surface = synthesize_field(small_config(), rng)
+        estimate = nearest_sensor_reconstruction(surface, [(5, 5)])
+        assert estimate[5, 5] == surface[5, 5]
+
+    def test_single_sensor_constant_field(self, rng):
+        surface = synthesize_field(small_config(), rng)
+        estimate = nearest_sensor_reconstruction(surface, [(5, 5)])
+        assert np.unique(estimate).size == 1
+
+    def test_empty_sensors_rejected(self, rng):
+        surface = synthesize_field(small_config(), rng)
+        with pytest.raises(ValueError):
+            nearest_sensor_reconstruction(surface, [])
+
+
+class TestDensityStudy:
+    def test_error_falls_with_density(self, rng):
+        config = small_config(extent_m=4000.0)
+        results = density_study(config, [200.0, 500.0, 1500.0], rng)
+        rmses = [r.rmse for r in results]
+        assert rmses == sorted(rmses)
+        assert results[0].n_sensors > results[-1].n_sensors
+
+    def test_block_granularity_resolves_field(self, rng):
+        # §2's claim quantified: block-scale spacing (<= correlation
+        # length) reconstructs the field well; km spacing does not.
+        config = small_config(extent_m=6000.0, correlation_length_m=300.0)
+        block = evaluate_density(config, 200.0, np.random.default_rng(4))
+        sparse = evaluate_density(config, 2000.0, np.random.default_rng(4))
+        assert block.normalized_rmse < 0.5
+        assert sparse.normalized_rmse > 1.5 * block.normalized_rmse
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_density(small_config(), 0.0, rng)

@@ -1,0 +1,77 @@
+"""Tests for repro.city.assets."""
+
+import pytest
+
+from repro.city import (
+    LA_TOTAL_ASSETS,
+    AssetClass,
+    CityInventory,
+    los_angeles,
+    san_diego_pilot,
+    scaled_city,
+)
+
+
+class TestLosAngeles:
+    def test_paper_counts(self):
+        la = los_angeles()
+        assert la.asset("utility-pole").count == 320_000
+        assert la.asset("intersection").count == 61_315
+        assert la.asset("streetlight").count == 210_000
+        assert la.total_assets() == LA_TOTAL_ASSETS == 591_315
+
+    def test_replacement_hours_is_paper_figure(self):
+        # §1: "nearly 200,000 person-hours of labor alone."
+        hours = los_angeles().replacement_person_hours()
+        assert hours == pytest.approx(197_105.0)
+        assert 190_000 < hours < 200_000
+
+    def test_paper_service_lives(self):
+        la = los_angeles()
+        assert la.asset("intersection").service_life_years == 25.0  # pavement
+        assert la.asset("streetlight").service_life_years == 30.0
+
+    def test_unknown_asset(self):
+        with pytest.raises(KeyError):
+            los_angeles().asset("gondola")
+
+
+class TestSanDiego:
+    def test_pilot_scale(self):
+        sd = san_diego_pilot()
+        # §2: 8,000 smart LEDs, 3,300 sensors.
+        assert sd.asset("streetlight").count == 8_000
+        assert sd.total_sensors() == 3_300
+
+
+class TestScaledCity:
+    def test_proportions_preserved(self):
+        half = scaled_city("Halfville", 0.5)
+        assert half.asset("utility-pole").count == 160_000
+        assert half.total_assets() == pytest.approx(LA_TOTAL_ASSETS / 2, rel=0.01)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_city("x", 0.0)
+
+
+class TestAssetClass:
+    def test_sensor_count(self):
+        asset = AssetClass("bridge", 100, 50.0, sensors_per_asset=4)
+        assert asset.sensor_count == 400
+
+    def test_service_life_seconds(self):
+        from repro.core import units
+
+        asset = AssetClass("bridge", 1, 50.0)
+        assert asset.service_life == units.years(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssetClass("x", -1, 10.0)
+        with pytest.raises(ValueError):
+            AssetClass("x", 1, 0.0)
+        with pytest.raises(ValueError):
+            AssetClass("x", 1, 1.0, sensors_per_asset=-1)
+        with pytest.raises(ValueError):
+            CityInventory("x", []).replacement_person_hours(minutes_per_device=0.0)

@@ -1,0 +1,73 @@
+"""Tests for repro.city.deployment."""
+
+import numpy as np
+import pytest
+
+from repro.city import RolloutPlan, city_rollout, los_angeles, san_diego_pilot
+from repro.city.assets import AssetClass
+from repro.core import units
+from repro.econ import CostParameters
+
+
+def asset(count=24_000, life=25.0):
+    return AssetClass("intersection", count, life)
+
+
+class TestRolloutPlan:
+    def test_fleet_and_batch_sizes(self):
+        plan = RolloutPlan(asset=asset(), project_cycle_years=25.0, batches=24)
+        assert plan.fleet_size == 24_000
+        assert plan.batch_size == 1_000
+
+    def test_instrumented_fraction(self):
+        plan = RolloutPlan(
+            asset=asset(), project_cycle_years=25.0, instrumented_fraction=0.1
+        )
+        assert plan.fleet_size == 2_400
+
+    def test_timeline_sustains_coverage(self, rng):
+        plan = RolloutPlan(asset=asset(count=2_400), project_cycle_years=20.0, batches=12)
+        sampler = lambda n: rng.weibull(4.0, n) * units.years(30.0)
+        timeline = plan.timeline(sampler, horizon=units.years(80.0))
+        life = timeline.system_lifetime(units.years(80.0), step=units.years(1.0))
+        assert life == units.years(80.0)
+
+    def test_annual_touch_rate(self):
+        plan = RolloutPlan(asset=asset(count=25_000), project_cycle_years=25.0)
+        assert plan.annual_touch_rate() == pytest.approx(1_000.0)
+
+    def test_piggyback_cheaper_than_truck_rolls(self):
+        # The §1 economy: riding project batches avoids dedicated truck
+        # rolls, so it must beat on-failure maintenance for the same fleet.
+        plan = RolloutPlan(asset=asset(count=25_000), project_cycle_years=25.0)
+        costs = CostParameters()
+        piggyback = plan.annual_cost_usd(costs)
+        standalone = plan.standalone_annual_cost_usd(device_mtbf_years=25.0, costs=costs)
+        assert piggyback < standalone
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RolloutPlan(asset=asset(), project_cycle_years=0.0)
+        with pytest.raises(ValueError):
+            RolloutPlan(asset=asset(), project_cycle_years=1.0, batches=0)
+        with pytest.raises(ValueError):
+            RolloutPlan(asset=asset(), project_cycle_years=1.0, instrumented_fraction=0.0)
+
+
+class TestCityRollout:
+    def test_one_plan_per_sensor_bearing_class(self):
+        plans = city_rollout(los_angeles())
+        assert len(plans) == 3
+
+    def test_skips_sensorless_assets(self):
+        plans = city_rollout(san_diego_pilot())
+        assert len(plans) == 1  # the LEDs host no sensors in our model
+
+    def test_cycles_bounded_by_asset_life(self):
+        plans = city_rollout(los_angeles())
+        for plan in plans:
+            assert plan.project_cycle_years <= plan.asset.service_life_years
+
+    def test_total_fleet_is_city_sensor_count(self):
+        plans = city_rollout(los_angeles(), instrumented_fraction=1.0)
+        assert sum(p.fleet_size for p in plans) == los_angeles().total_sensors()

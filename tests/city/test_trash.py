@@ -1,0 +1,111 @@
+"""Tests for repro.city.trash (the Seoul reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    BinFleetConfig,
+    compare_policies,
+    simulate_scheduled,
+    simulate_sensor_driven,
+)
+
+
+class TestBinFleetConfig:
+    def test_rates_heterogeneous(self, rng):
+        config = BinFleetConfig(n_bins=500, fill_sigma=1.0)
+        rates = config.sample_rates(rng)
+        assert rates.max() / rates.min() > 10.0  # heavy heterogeneity
+
+    def test_median_calibrated(self, rng):
+        config = BinFleetConfig(n_bins=4000, median_fill_days=7.0)
+        rates = config.sample_rates(rng)
+        median_days = 1.0 / (np.median(rates) * 24.0)
+        assert median_days == pytest.approx(7.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinFleetConfig(n_bins=0)
+        with pytest.raises(ValueError):
+            BinFleetConfig(median_fill_days=0.0)
+        with pytest.raises(ValueError):
+            BinFleetConfig(burst_probability=1.5)
+
+
+class TestScheduledCollection:
+    def test_visits_are_deterministic(self, rng):
+        config = BinFleetConfig(n_bins=100)
+        result = simulate_scheduled(config, rng, horizon_days=30.0, visit_interval_days=2.0)
+        assert result.visits == 100 * 15
+
+    def test_overflow_happens(self, rng):
+        config = BinFleetConfig(n_bins=200)
+        result = simulate_scheduled(config, rng, horizon_days=30.0)
+        assert result.overflow_bin_hours > 0.0
+        assert result.overflow_events > 0
+
+    def test_tighter_schedule_less_overflow(self):
+        config = BinFleetConfig(n_bins=200)
+        loose = simulate_scheduled(
+            config, np.random.default_rng(3), 30.0, visit_interval_days=4.0
+        )
+        tight = simulate_scheduled(
+            config, np.random.default_rng(3), 30.0, visit_interval_days=1.0
+        )
+        assert tight.overflow_bin_hours < loose.overflow_bin_hours
+        assert tight.visits > loose.visits
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_scheduled(BinFleetConfig(), rng, horizon_days=0.0)
+
+
+class TestSensorDriven:
+    def test_fewer_visits_than_schedule(self):
+        config = BinFleetConfig(n_bins=200)
+        scheduled = simulate_scheduled(config, np.random.default_rng(5), 30.0)
+        smart = simulate_sensor_driven(config, np.random.default_rng(5), 30.0)
+        assert smart.visits < scheduled.visits
+
+    def test_compaction_reduces_visits(self):
+        config = BinFleetConfig(n_bins=200)
+        no_compact = simulate_sensor_driven(
+            config, np.random.default_rng(5), 30.0, capacity_multiplier=1.01
+        )
+        compact = simulate_sensor_driven(
+            config, np.random.default_rng(5), 30.0, capacity_multiplier=4.0
+        )
+        assert compact.visits < no_compact.visits
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_sensor_driven(BinFleetConfig(), rng, dispatch_threshold=1.0)
+        with pytest.raises(ValueError):
+            simulate_sensor_driven(BinFleetConfig(), rng, response_hours=-1)
+        with pytest.raises(ValueError):
+            simulate_sensor_driven(BinFleetConfig(), rng, capacity_multiplier=0.5)
+
+
+class TestSeoulComparison:
+    def test_shape_matches_paper(self):
+        # §2: Seoul reduced overflow 66 % and collection cost 83 %.
+        comparison = compare_policies(
+            BinFleetConfig(n_bins=300), seed=5, horizon_days=60.0
+        )
+        assert comparison.overflow_reduction > 0.4
+        assert comparison.cost_reduction > 0.6
+        assert comparison.shape_holds()
+
+    def test_reduction_metrics_zero_guard(self):
+        from repro.city.trash import CollectionResult
+
+        empty = CollectionResult("x", 0, 0.0, 0, 30.0)
+        other = CollectionResult("y", 10, 5.0, 1, 30.0)
+        assert other.overflow_reduction_vs(empty) == 0.0
+        assert other.cost_reduction_vs(empty) == 0.0
+
+    def test_visits_per_bin_day(self):
+        from repro.city.trash import CollectionResult
+
+        result = CollectionResult("x", 300, 0.0, 0, 30.0)
+        assert result.visits_per_bin_day == 10.0

@@ -1,0 +1,20 @@
+"""Shared fixtures for the centurysim test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Simulation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for sampling in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh simulation with a fixed seed."""
+    return Simulation(seed=42)

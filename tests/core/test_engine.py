@@ -1,0 +1,154 @@
+"""Tests for repro.core.engine."""
+
+import pytest
+
+from repro.core import Simulation, SimulationError, units
+
+
+class TestScheduling:
+    def test_call_at_runs_at_time(self, sim):
+        times = []
+        sim.call_at(10.0, lambda: times.append(sim.now))
+        sim.run_until(20.0)
+        assert times == [10.0]
+
+    def test_call_in_is_relative(self, sim):
+        sim.run_until(5.0)
+        times = []
+        sim.call_in(3.0, lambda: times.append(sim.now))
+        sim.run_until(20.0)
+        assert times == [8.0]
+
+    def test_past_scheduling_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_in(-1.0, lambda: None)
+
+    def test_clock_lands_on_end_time(self, sim):
+        sim.call_at(3.0, lambda: None)
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_events_beyond_end_stay_queued(self, sim):
+        hits = []
+        sim.call_at(50.0, lambda: hits.append(1))
+        sim.run_until(10.0)
+        assert hits == []
+        sim.run_until(60.0)
+        assert hits == [1]
+
+    def test_run_until_backwards_rejected(self, sim):
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_nested_scheduling_inside_event(self, sim):
+        times = []
+
+        def first():
+            sim.call_in(1.0, lambda: times.append(sim.now))
+
+        sim.call_at(2.0, first)
+        sim.run_until(10.0)
+        assert times == [3.0]
+
+    def test_stop_halts_run(self, sim):
+        hits = []
+        sim.call_at(1.0, lambda: (hits.append(1), sim.stop()))
+        sim.call_at(2.0, lambda: hits.append(2))
+        sim.run_until(10.0)
+        assert hits == [1]
+        assert sim.now == 1.0  # clock frozen at the stop point
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.call_in(0.0, loop)
+
+        sim.call_at(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_executed_events_counter(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.call_at(t, lambda: None)
+        sim.run_until(10.0)
+        assert sim.executed_events == 3
+
+
+class TestPeriodicTask:
+    def test_fires_on_interval(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_custom_start(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), start=5.0)
+        sim.run_until(30.0)
+        assert times == [5.0, 15.0, 25.0]
+
+    def test_until_bound(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), until=25.0)
+        sim.run_until(100.0)
+        assert times == [10.0, 20.0]
+
+    def test_stop_cancels_future_firings(self, sim):
+        times = []
+        task = sim.every(10.0, lambda: times.append(sim.now))
+        sim.call_at(25.0, task.stop)
+        sim.run_until(100.0)
+        assert times == [10.0, 20.0]
+        assert not task.active
+
+    def test_fired_counter(self, sim):
+        task = sim.every(1.0, lambda: None)
+        sim.run_until(5.5)
+        assert task.fired == 5
+
+    def test_zero_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_stop_from_inside_callback(self, sim):
+        task_holder = {}
+        times = []
+
+        def fire():
+            times.append(sim.now)
+            if len(times) == 2:
+                task_holder["task"].stop()
+
+        task_holder["task"] = sim.every(1.0, fire)
+        sim.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+
+class TestRecording:
+    def test_record_and_filter(self, sim):
+        sim.call_at(1.0, lambda: sim.record("alpha", "one", value=1))
+        sim.call_at(2.0, lambda: sim.record("beta", "two"))
+        sim.run_until(5.0)
+        alpha = sim.records("alpha")
+        assert len(alpha) == 1
+        assert alpha[0].time == 1.0
+        assert alpha[0].data["value"] == 1
+
+    def test_rng_shorthand(self, sim):
+        assert sim.rng("x") is sim.streams.get("x")
+
+    def test_long_horizon_clock_precision(self):
+        # 100 years in seconds is ~3.2e9; doubles must resolve seconds.
+        sim = Simulation()
+        hits = []
+        sim.call_at(units.years(100.0), lambda: hits.append(sim.now))
+        sim.run_until(units.years(100.0))
+        assert hits and hits[0] == units.years(100.0)
+
+    def test_repr(self, sim):
+        assert "Simulation(" in repr(sim)

@@ -1,0 +1,140 @@
+"""Tests for repro.core.entity."""
+
+import pytest
+
+from repro.core import Entity, EntityState, fresh_id
+
+
+class Widget(Entity):
+    TIER = "device"
+
+
+class TestLifecycle:
+    def test_initial_state_planned(self, sim):
+        assert Widget(sim).state is EntityState.PLANNED
+
+    def test_deploy_activates(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        assert w.alive
+        assert w.deployed_at == sim.now
+
+    def test_double_deploy_rejected(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        with pytest.raises(RuntimeError):
+            w.deploy()
+
+    def test_fail_records_time_and_reason(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        sim.run_until(10.0)
+        sim.call_at(10.0, lambda: None)
+        w.fail(reason="wearout")
+        assert w.state is EntityState.FAILED
+        assert w.ended_at == 10.0
+        fails = sim.records("fail")
+        assert fails[0].data["reason"] == "wearout"
+
+    def test_retire_is_distinct_from_fail(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        w.retire(reason="upgrade")
+        assert w.state is EntityState.RETIRED
+
+    def test_fail_before_deploy_is_noop(self, sim):
+        w = Widget(sim)
+        w.fail()
+        assert w.state is EntityState.PLANNED
+
+    def test_fail_after_retire_is_noop(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        w.retire()
+        w.fail()
+        assert w.state is EntityState.RETIRED
+
+    def test_service_life_running(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        sim.run_until(42.0)
+        assert w.service_life() == 42.0
+
+    def test_service_life_after_end(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        sim.run_until(10.0)
+        w.fail()
+        sim.run_until(99.0)
+        assert w.service_life() == 10.0
+
+    def test_service_life_never_deployed(self, sim):
+        assert Widget(sim).service_life() is None
+
+    def test_hooks_called(self, sim):
+        calls = []
+
+        class Hooked(Widget):
+            def on_deploy(self):
+                calls.append("deploy")
+
+            def on_end(self, reason):
+                calls.append(f"end:{reason}")
+
+        h = Hooked(sim)
+        h.deploy()
+        h.fail(reason="x")
+        assert calls == ["deploy", "end:x"]
+
+
+class TestDependencies:
+    def test_add_and_remove(self, sim):
+        a, b = Widget(sim), Widget(sim)
+        a.add_dependency(b)
+        assert b in a.depends_on
+        assert a in b.dependents
+        a.remove_dependency(b)
+        assert not a.depends_on
+        assert not b.dependents
+
+    def test_self_dependency_rejected(self, sim):
+        w = Widget(sim)
+        with pytest.raises(ValueError):
+            w.add_dependency(w)
+
+    def test_duplicate_dependency_ignored(self, sim):
+        a, b = Widget(sim), Widget(sim)
+        a.add_dependency(b)
+        a.add_dependency(b)
+        assert a.depends_on.count(b) == 1
+
+    def test_effective_alive_no_deps(self, sim):
+        w = Widget(sim)
+        w.deploy()
+        assert w.effective_alive()
+
+    def test_effective_alive_follows_chain(self, sim):
+        device, gateway, backhaul = Widget(sim), Widget(sim), Widget(sim)
+        device.add_dependency(gateway)
+        gateway.add_dependency(backhaul)
+        for e in (device, gateway, backhaul):
+            e.deploy()
+        assert device.effective_alive()
+        backhaul.fail()
+        assert device.alive  # the hardware still works...
+        assert not device.effective_alive()  # ...but it is stranded
+
+    def test_effective_alive_any_path_suffices(self, sim):
+        device, g1, g2 = Widget(sim), Widget(sim), Widget(sim)
+        device.add_dependency(g1)
+        device.add_dependency(g2)
+        for e in (device, g1, g2):
+            e.deploy()
+        g1.fail()
+        assert device.effective_alive()
+        g2.fail()
+        assert not device.effective_alive()
+
+    def test_fresh_ids_unique(self):
+        ids = {fresh_id("x") for _ in range(100)}
+        assert len(ids) == 100

@@ -1,0 +1,91 @@
+"""Tests for repro.core.events."""
+
+import pytest
+
+from repro.core.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, lambda: order.append(3))
+        q.push(1.0, lambda: order.append(1))
+        q.push(2.0, lambda: order.append(2))
+        while not q.empty():
+            q.pop().callback()
+        assert order == [1, 2, 3]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        order = []
+        for index in range(10):
+            q.push(5.0, lambda i=index: order.append(i))
+        while not q.empty():
+            q.pop().callback()
+        assert order == list(range(10))
+
+    def test_priority_beats_sequence_at_same_time(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("late"), priority=1)
+        q.push(1.0, lambda: order.append("early"), priority=0)
+        while not q.empty():
+            q.pop().callback()
+        assert order == ["early", "late"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_cancel_skips_event(self):
+        q = EventQueue()
+        hits = []
+        event = q.push(1.0, lambda: hits.append("a"))
+        q.push(2.0, lambda: hits.append("b"))
+        q.cancel(event)
+        while not q.empty():
+            q.pop().callback()
+        assert hits == ["b"]
+
+    def test_cancel_twice_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.cancel(e1)
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        q.cancel(e1)
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert q.empty()
+        assert len(q) == 0
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    def test_event_repr(self):
+        event = Event(time=1.5, priority=0, sequence=0, callback=lambda: None, label="x")
+        assert "x" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)

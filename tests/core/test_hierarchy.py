@@ -1,0 +1,131 @@
+"""Tests for repro.core.hierarchy."""
+
+import pytest
+
+from repro.core import Entity, Hierarchy, wire_by_fanout
+
+
+class Device(Entity):
+    TIER = "device"
+
+
+class GatewayE(Entity):
+    TIER = "gateway"
+
+
+class BackhaulE(Entity):
+    TIER = "backhaul"
+
+
+class CloudE(Entity):
+    TIER = "cloud"
+
+
+def build_stack(sim, n_devices=6, n_gateways=2, redundancy=1):
+    cloud = CloudE(sim)
+    backhaul = BackhaulE(sim)
+    backhaul.add_dependency(cloud)
+    gateways = [GatewayE(sim) for _ in range(n_gateways)]
+    for g in gateways:
+        g.add_dependency(backhaul)
+    devices = [Device(sim) for _ in range(n_devices)]
+    wire_by_fanout(devices, gateways, redundancy=redundancy)
+    h = Hierarchy()
+    h.extend([cloud, backhaul, *gateways, *devices])
+    for e in [cloud, backhaul, *gateways, *devices]:
+        e.deploy()
+    return h, cloud, backhaul, gateways, devices
+
+
+class TestHierarchy:
+    def test_tier_listing(self, sim):
+        h, *_ = build_stack(sim)
+        assert len(h.tier("device")) == 6
+        assert len(h.tier("gateway")) == 2
+
+    def test_duplicate_add_ignored(self, sim):
+        h = Hierarchy()
+        d = Device(sim)
+        h.add(d)
+        h.add(d)
+        assert len(h.entities) == 1
+
+    def test_fanout_stats(self, sim):
+        h, *_ = build_stack(sim, n_devices=6, n_gateways=2)
+        stats = h.tier_stats("gateway")
+        assert stats.count == 2
+        assert stats.mean_dependents == 3.0
+        assert stats.max_dependents == 3
+
+    def test_empty_tier_stats(self, sim):
+        stats = Hierarchy().tier_stats("device")
+        assert stats.count == 0
+        assert stats.mean_dependents == 0.0
+
+    def test_reachability_all_up(self, sim):
+        h, *_ = build_stack(sim)
+        assert len(h.reachable_devices()) == 6
+        assert h.stranded_devices() == []
+
+    def test_gateway_failure_strands_its_devices(self, sim):
+        h, cloud, backhaul, gateways, devices = build_stack(
+            sim, n_devices=6, n_gateways=2, redundancy=1
+        )
+        gateways[0].fail()
+        assert len(h.stranded_devices()) == 3
+        assert len(h.reachable_devices()) == 3
+
+    def test_redundancy_two_survives_one_gateway(self, sim):
+        h, cloud, backhaul, gateways, devices = build_stack(
+            sim, n_devices=6, n_gateways=2, redundancy=2
+        )
+        gateways[0].fail()
+        assert h.stranded_devices() == []
+
+    def test_backhaul_failure_strands_everything(self, sim):
+        h, cloud, backhaul, gateways, devices = build_stack(sim)
+        backhaul.fail()
+        assert len(h.stranded_devices()) == 6
+
+    def test_blast_radius_grows_up_the_hierarchy(self, sim):
+        h, cloud, backhaul, gateways, devices = build_stack(
+            sim, n_devices=6, n_gateways=2, redundancy=1
+        )
+        gw_radius = len(h.blast_radius(gateways[0]))
+        bh_radius = len(h.blast_radius(backhaul))
+        assert gw_radius == 3
+        assert bh_radius == 6
+        assert bh_radius > gw_radius  # Figure 1's lifetime-variability arrow
+
+    def test_blast_radius_restores_state(self, sim):
+        h, cloud, backhaul, gateways, devices = build_stack(sim)
+        h.blast_radius(backhaul)
+        assert backhaul.alive
+
+    def test_describe_renders_all_tiers(self, sim):
+        h, *_ = build_stack(sim)
+        text = h.describe()
+        for tier in ("device", "gateway", "backhaul", "cloud"):
+            assert tier in text
+
+
+class TestWireByFanout:
+    def test_round_robin_distribution(self, sim):
+        gateways = [GatewayE(sim) for _ in range(3)]
+        devices = [Device(sim) for _ in range(9)]
+        wire_by_fanout(devices, gateways)
+        assert all(len(g.dependents) == 3 for g in gateways)
+
+    def test_empty_gateways_rejected(self, sim):
+        with pytest.raises(ValueError):
+            wire_by_fanout([Device(sim)], [])
+
+    def test_redundancy_capped_at_gateway_count(self, sim):
+        gateways = [GatewayE(sim) for _ in range(2)]
+        devices = [Device(sim)]
+        wire_by_fanout(devices, gateways, redundancy=5)
+        assert len(devices[0].depends_on) == 2
+
+    def test_bad_redundancy_rejected(self, sim):
+        with pytest.raises(ValueError):
+            wire_by_fanout([Device(sim)], [GatewayE(sim)], redundancy=0)

@@ -1,0 +1,146 @@
+"""Tests for repro.core.lifetime."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Cohort,
+    FleetTimeline,
+    en_masse_fleet,
+    pipelined_fleet,
+    replacement_rate,
+    summarize,
+    units,
+)
+
+
+def constant_sampler(value):
+    return lambda n: np.full(n, value)
+
+
+class TestCohort:
+    def test_alive_before_deployment_zero(self):
+        c = Cohort(deployed_at=10.0, lifetimes=(5.0, 5.0))
+        assert c.alive_at(9.0) == 0
+
+    def test_alive_counts_survivors(self):
+        c = Cohort(deployed_at=0.0, lifetimes=(1.0, 2.0, 3.0))
+        assert c.alive_at(0.0) == 3
+        assert c.alive_at(1.5) == 2
+        assert c.alive_at(2.5) == 1
+        assert c.alive_at(3.5) == 0
+
+    def test_size(self):
+        assert Cohort(0.0, (1.0, 2.0)).size == 2
+
+
+class TestFleetTimeline:
+    def test_coverage_basic(self):
+        tl = FleetTimeline(nominal_size=10)
+        tl.add_cohort(Cohort(0.0, tuple([100.0] * 5)))
+        assert tl.coverage_at(1.0) == 0.5
+
+    def test_cohorts_sorted_on_insert(self):
+        tl = FleetTimeline(nominal_size=1)
+        tl.add_cohort(Cohort(5.0, (1.0,)))
+        tl.add_cohort(Cohort(1.0, (1.0,)))
+        assert [c.deployed_at for c in tl.cohorts] == [1.0, 5.0]
+
+    def test_invalid_nominal_size(self):
+        with pytest.raises(ValueError):
+            FleetTimeline(nominal_size=0)
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            FleetTimeline(nominal_size=1, coverage_floor=0.0)
+
+    def test_system_lifetime_en_masse_equals_wearout(self):
+        # All devices last exactly 10 years: coverage collapses then.
+        tl = en_masse_fleet(100, constant_sampler(units.years(10.0)))
+        life = tl.system_lifetime(units.years(50.0), step=units.years(0.25))
+        assert units.as_years(life) == pytest.approx(10.0, abs=0.3)
+
+    def test_system_lifetime_outlives_horizon_when_replaced(self):
+        tl = pipelined_fleet(
+            nominal_size=100,
+            lifetime_sampler=constant_sampler(units.years(10.0)),
+            refresh_interval=units.years(8.0),
+            horizon=units.years(100.0),
+            batches=8,
+        )
+        life = tl.system_lifetime(units.years(100.0), step=units.years(0.5))
+        assert units.as_years(life) == 100.0
+
+    def test_never_covered_returns_zero(self):
+        tl = FleetTimeline(nominal_size=100, coverage_floor=0.9)
+        tl.add_cohort(Cohort(0.0, tuple([units.years(1.0)] * 10)))  # 10 % max
+        assert tl.system_lifetime(units.years(5.0)) == 0.0
+
+
+class TestPipelinedFleet:
+    def test_steady_state_coverage_near_one(self, rng):
+        sampler = lambda n: rng.weibull(4.0, n) * units.years(12.0)
+        tl = pipelined_fleet(
+            nominal_size=400,
+            lifetime_sampler=sampler,
+            refresh_interval=units.years(8.0),
+            horizon=units.years(60.0),
+            batches=8,
+        )
+        # After build-out, coverage should hover near 1, never above ~1.
+        times, coverage = tl.coverage_series(units.years(60.0), step=units.years(1.0))
+        steady = coverage[times > units.years(10.0)]
+        assert steady.mean() > 0.8
+        assert steady.max() <= 1.01
+
+    def test_abandonment_decays_fleet(self, rng):
+        sampler = lambda n: rng.weibull(4.0, n) * units.years(12.0)
+        tl = pipelined_fleet(
+            nominal_size=200,
+            lifetime_sampler=sampler,
+            refresh_interval=units.years(8.0),
+            horizon=units.years(80.0),
+            batches=8,
+            stop_replacing_after=units.years(20.0),
+        )
+        life = tl.system_lifetime(units.years(80.0), step=units.years(0.5))
+        assert units.years(20.0) < life < units.years(60.0)
+
+    def test_batches_stagger_deployments(self):
+        tl = pipelined_fleet(
+            nominal_size=80,
+            lifetime_sampler=constant_sampler(units.years(5.0)),
+            refresh_interval=units.years(8.0),
+            horizon=units.years(8.0),
+            batches=4,
+        )
+        starts = sorted({c.deployed_at for c in tl.cohorts})
+        assert len(starts) == 4
+        gaps = np.diff(starts)
+        assert np.allclose(gaps, units.years(2.0))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pipelined_fleet(10, constant_sampler(1.0), 0.0, 10.0)
+        with pytest.raises(ValueError):
+            pipelined_fleet(10, constant_sampler(1.0), 1.0, 10.0, batches=0)
+
+
+class TestSummaries:
+    def test_replacement_rate_zero_for_en_masse(self):
+        tl = en_masse_fleet(50, constant_sampler(units.years(5.0)))
+        assert replacement_rate(tl, units.years(10.0)) == 0.0
+
+    def test_replacement_rate_counts_later_cohorts(self):
+        tl = FleetTimeline(nominal_size=10)
+        tl.add_cohort(Cohort(0.0, tuple([1.0] * 10)))
+        tl.add_cohort(Cohort(units.years(1.0), tuple([1.0] * 10)))
+        assert replacement_rate(tl, units.years(2.0)) == pytest.approx(5.0)
+
+    def test_summarize_fields(self):
+        tl = en_masse_fleet(10, constant_sampler(units.years(20.0)))
+        row = summarize("x", tl, units.years(10.0), step=units.years(1.0))
+        assert row.strategy == "x"
+        assert row.system_lifetime_years == 10.0  # outlived window
+        assert row.mean_coverage == pytest.approx(1.0)
+        assert row.replacements_per_year == 0.0

@@ -1,0 +1,45 @@
+"""Tests for repro.core.policy."""
+
+from repro.core import (
+    AttachmentPolicy,
+    DeploymentPolicy,
+    GatewayRole,
+    InfrastructureOwnership,
+)
+
+
+class TestDeploymentPolicy:
+    def test_takeaway_compliant_settings(self):
+        p = DeploymentPolicy.takeaway_compliant()
+        assert p.attachment is AttachmentPolicy.ANY_COMPATIBLE
+        assert p.gateway_role is GatewayRole.ROUTER_ONLY
+        assert p.ownership is InfrastructureOwnership.HEDGED
+
+    def test_worst_practice_settings(self):
+        p = DeploymentPolicy.worst_practice()
+        assert p.attachment is AttachmentPolicy.INSTANCE_BOUND
+        assert p.gateway_role is GatewayRole.STATEFUL_CONTROLLER
+        assert p.ownership is InfrastructureOwnership.THIRD_PARTY
+
+    def test_rehoming_follows_attachment(self):
+        assert DeploymentPolicy.takeaway_compliant().devices_rehome
+        assert not DeploymentPolicy.worst_practice().devices_rehome
+
+    def test_gateway_swap_cost_factor(self):
+        assert DeploymentPolicy.takeaway_compliant().gateway_swap_cost_factor == 1.0
+        assert DeploymentPolicy.worst_practice().gateway_swap_cost_factor == 4.0
+
+    def test_self_deploy_option(self):
+        assert DeploymentPolicy.takeaway_compliant().can_self_deploy_infrastructure
+        assert not DeploymentPolicy.worst_practice().can_self_deploy_infrastructure
+        owned = DeploymentPolicy(ownership=InfrastructureOwnership.OWNED)
+        assert owned.can_self_deploy_infrastructure
+
+    def test_describe_mentions_all_axes(self):
+        text = DeploymentPolicy.takeaway_compliant().describe()
+        assert "any-compatible" in text
+        assert "router-only" in text
+        assert "hedged" in text
+
+    def test_policies_are_frozen_and_hashable(self):
+        assert hash(DeploymentPolicy()) == hash(DeploymentPolicy())

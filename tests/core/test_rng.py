@@ -1,0 +1,69 @@
+"""Tests for repro.core.rng."""
+
+import pytest
+
+from repro.core.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=7).get("x").random(5)
+        b = RandomStreams(seed=7).get("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(seed=7)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).get("x").random(5)
+        b = RandomStreams(seed=2).get("x").random(5)
+        assert not (a == b).all()
+
+    def test_stream_independent_of_creation_order(self):
+        s1 = RandomStreams(seed=3)
+        s1.get("first").random(100)  # consume another stream heavily
+        value_after = s1.get("target").random()
+
+        s2 = RandomStreams(seed=3)
+        value_direct = s2.get("target").random()
+        assert value_after == value_direct
+
+    def test_get_returns_same_generator(self):
+        streams = RandomStreams(seed=0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=0).get("")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=-1)
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(seed=9).fork(3).get("x").random()
+        b = RandomStreams(seed=9).fork(3).get("x").random()
+        assert a == b
+
+    def test_forks_differ_from_parent_and_each_other(self):
+        parent = RandomStreams(seed=9)
+        f0 = parent.fork(0).get("x").random()
+        f1 = parent.fork(1).get("x").random()
+        p = parent.get("x").random()
+        assert len({f0, f1, p}) == 3
+
+    def test_fork_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=0).fork(-1)
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(seed=0)
+        streams.get("b")
+        streams.get("a")
+        assert list(streams.names()) == ["a", "b"]
+
+    def test_repr_mentions_seed(self):
+        assert "seed=5" in repr(RandomStreams(seed=5))

@@ -1,0 +1,83 @@
+"""Tests for repro.core.units."""
+
+import math
+
+import pytest
+
+from repro.core import units
+
+
+class TestConversions:
+    def test_minute(self):
+        assert units.minutes(2.0) == 120.0
+
+    def test_hour(self):
+        assert units.hours(1.0) == 3600.0
+
+    def test_day(self):
+        assert units.days(1.0) == 86400.0
+
+    def test_week(self):
+        assert units.weeks(1.0) == 7 * 86400.0
+
+    def test_year_is_julian(self):
+        assert units.years(1.0) == 365.25 * 86400.0
+
+    def test_month_is_year_twelfth(self):
+        assert math.isclose(units.months(12.0), units.years(1.0))
+
+    def test_seconds_identity(self):
+        assert units.seconds(5) == 5.0
+
+    def test_roundtrip_years(self):
+        assert math.isclose(units.as_years(units.years(50.0)), 50.0)
+
+    def test_roundtrip_weeks(self):
+        assert math.isclose(units.as_weeks(units.weeks(3.5)), 3.5)
+
+    def test_roundtrip_days_hours_months(self):
+        assert math.isclose(units.as_days(units.days(9.0)), 9.0)
+        assert math.isclose(units.as_hours(units.hours(7.0)), 7.0)
+        assert math.isclose(units.as_months(units.months(5.0)), 5.0)
+
+    def test_paper_50_months_vs_50_years(self):
+        # The abstract's contrast: device replacement every 50 months,
+        # bridge replacement every 50 years, a factor of 12 apart.
+        ratio = units.years(50.0) / units.months(50.0)
+        assert math.isclose(ratio, 12.0)
+
+
+class TestEnergyUnits:
+    def test_watt_hours(self):
+        assert units.watt_hours(1.0) == 3600.0
+
+    def test_milliamp_hours(self):
+        # 1000 mAh at 3 V = 3 Wh = 10.8 kJ.
+        assert math.isclose(units.milliamp_hours(1000.0, volts=3.0), 10800.0)
+
+    def test_milliamp_hours_rejects_bad_voltage(self):
+        with pytest.raises(ValueError):
+            units.milliamp_hours(1000.0, volts=0.0)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert units.format_duration(2.5) == "2.5s"
+
+    def test_minutes(self):
+        assert units.format_duration(90.0) == "1.5min"
+
+    def test_hours(self):
+        assert units.format_duration(7200.0) == "2h"
+
+    def test_days(self):
+        assert units.format_duration(units.days(3.0)) == "3d"
+
+    def test_weeks(self):
+        assert units.format_duration(units.weeks(5.0)) == "5wk"
+
+    def test_years(self):
+        assert units.format_duration(units.years(50.0)) == "50.00yr"
+
+    def test_negative(self):
+        assert units.format_duration(-3600.0) == "-1h"

@@ -1,0 +1,87 @@
+"""Tests for repro.econ.backhaul_tco."""
+
+import pytest
+
+from repro.econ import CellularCosts, FiberCosts, crossover_year, tco_series
+
+
+class TestFiberCosts:
+    def test_capex_dominated_by_trench(self):
+        fiber = FiberCosts()
+        trench_part = fiber.trench_usd_per_km * fiber.km_per_gateway * fiber.trench_share
+        assert trench_part > fiber.terminal_usd_per_gateway
+
+    def test_trench_share_scales_capex(self):
+        full = FiberCosts(trench_share=1.0).capex(10)
+        half = FiberCosts(trench_share=0.5).capex(10)
+        assert half < full
+
+    def test_transceiver_refreshes_counted(self):
+        fiber = FiberCosts(transceiver_refresh_years=10.0, transceiver_usd=500.0)
+        at_9 = fiber.cumulative(1, 9.0)
+        at_11 = fiber.cumulative(1, 11.0)
+        assert at_11 - at_9 > 500.0  # one refresh plus opex
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiberCosts(trench_share=0.0)
+        with pytest.raises(ValueError):
+            FiberCosts().capex(-1)
+        with pytest.raises(ValueError):
+            FiberCosts().cumulative(1, -1.0)
+
+
+class TestCellularCosts:
+    def test_low_capex(self):
+        assert CellularCosts().capex(10) < FiberCosts().capex(10)
+
+    def test_sunset_swaps_counted(self):
+        cell = CellularCosts(sunset_interval_years=10.0, sunset_swap_usd_per_gateway=400.0)
+        before = cell.cumulative(1, 9.0)
+        after = cell.cumulative(1, 11.0)
+        assert after - before > 400.0
+
+    def test_subscription_dominates_long_run(self):
+        cell = CellularCosts()
+        fifty = cell.cumulative(1, 50.0)
+        subs = cell.subscription_usd_per_gateway_year * 50.0
+        assert subs / fifty > 0.8
+
+
+class TestTcoComparison:
+    def test_cellular_cheaper_early(self):
+        points = tco_series(gateways=100, horizon_years=50.0)
+        assert not points[1].fiber_wins  # year ~1: cellular ahead
+
+    def test_fiber_wins_long_run_default(self):
+        # §3.3's argument: coordinated-dig fiber overtakes subscriptions
+        # well inside a 50-year horizon.
+        year = crossover_year(100)
+        assert 5.0 < year < 35.0
+
+    def test_greenfield_fiber_never_crosses(self):
+        fiber = FiberCosts(km_per_gateway=0.8, trench_share=1.0)
+        assert crossover_year(100, fiber=fiber) == float("inf")
+
+    def test_sharing_accelerates_crossover(self):
+        shared = crossover_year(100, fiber=FiberCosts(trench_share=0.25))
+        solo = crossover_year(100, fiber=FiberCosts(trench_share=1.0))
+        assert shared < solo
+
+    def test_series_monotone(self):
+        points = tco_series(gateways=10, horizon_years=20.0)
+        fibers = [p.fiber_usd for p in points]
+        cells = [p.cellular_usd for p in points]
+        assert fibers == sorted(fibers)
+        assert cells == sorted(cells)
+
+    def test_costs_scale_with_gateways(self):
+        small = tco_series(10, 10.0)[-1]
+        large = tco_series(100, 10.0)[-1]
+        assert large.fiber_usd == pytest.approx(10 * small.fiber_usd)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tco_series(0)
+        with pytest.raises(ValueError):
+            tco_series(1, horizon_years=0.0)

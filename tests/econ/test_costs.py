@@ -1,0 +1,87 @@
+"""Tests for repro.econ.costs."""
+
+import pytest
+
+from repro.econ import AmortizationSchedule, CostParameters, present_value
+
+
+class TestCostParameters:
+    def test_san_diego_scale_lands_in_millions(self):
+        # §2: "the cost for deployment for even a few thousand sensors
+        # can range into millions of dollars."
+        costs = CostParameters()
+        total = costs.initial_deployment_usd(devices=3_300, gateways=20)
+        assert 1e6 < total < 10e6
+
+    def test_replacement_cost_components(self):
+        costs = CostParameters(
+            device_hardware_usd=100.0,
+            truck_roll_usd=200.0,
+            labor_usd_per_hour=60.0,
+            replacement_minutes=20.0,
+        )
+        assert costs.device_replacement_usd() == pytest.approx(100 + 200 + 20.0)
+
+    def test_fleet_replacement_scales(self):
+        costs = CostParameters()
+        assert costs.fleet_replacement_usd(200) == 2 * costs.fleet_replacement_usd(100)
+
+    def test_fleet_person_hours_matches_paper_rule(self):
+        costs = CostParameters(replacement_minutes=20.0)
+        assert costs.fleet_replacement_person_hours(591_315) == pytest.approx(
+            197_105.0
+        )
+
+    def test_annual_maintenance(self):
+        costs = CostParameters()
+        # 100 devices, 10-year MTBF -> 10 replacements/year.
+        annual = costs.annual_maintenance_usd(100, device_mtbf_years=10.0)
+        assert annual == pytest.approx(10 * costs.device_replacement_usd())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostParameters(device_hardware_usd=-1.0)
+        with pytest.raises(ValueError):
+            CostParameters(replacement_minutes=0.0)
+        with pytest.raises(ValueError):
+            CostParameters().initial_deployment_usd(-1, 0)
+        with pytest.raises(ValueError):
+            CostParameters().annual_maintenance_usd(10, 0.0)
+
+
+class TestAmortization:
+    def test_annual(self):
+        schedule = AmortizationSchedule(capex_usd=1000.0, service_life_years=10.0)
+        assert schedule.annual_usd == 100.0
+
+    def test_remaining_value(self):
+        schedule = AmortizationSchedule(capex_usd=1000.0, service_life_years=10.0)
+        assert schedule.remaining_value(5.0) == 500.0
+        assert schedule.remaining_value(20.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmortizationSchedule(capex_usd=-1.0, service_life_years=1.0)
+        with pytest.raises(ValueError):
+            AmortizationSchedule(capex_usd=1.0, service_life_years=0.0)
+        with pytest.raises(ValueError):
+            AmortizationSchedule(1.0, 1.0).remaining_value(-1.0)
+
+
+class TestPresentValue:
+    def test_zero_discount_is_linear(self):
+        assert present_value(100.0, 10.0, discount_rate=0.0) == 1000.0
+
+    def test_discounting_reduces(self):
+        assert present_value(100.0, 50.0, 0.03) < 5000.0
+
+    def test_fifty_year_pv_converges(self):
+        # At 3 %, a 50-year stream is worth ~78 % of its nominal total.
+        pv = present_value(100.0, 50.0, 0.03)
+        assert pv == pytest.approx(100.0 * (1 - 2.718281828**-1.5) / 0.03, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            present_value(1.0, -1.0)
+        with pytest.raises(ValueError):
+            present_value(1.0, 1.0, discount_rate=-0.1)

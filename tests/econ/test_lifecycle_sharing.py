@@ -1,0 +1,132 @@
+"""Tests for repro.econ.lifecycle and repro.econ.sharing."""
+
+import math
+
+import pytest
+
+from repro.econ import (
+    CostParameters,
+    DeviceStrategy,
+    SharingComparison,
+    breakeven_premium,
+    compare_sharing,
+    coverage_fraction,
+    gateways_for_coverage,
+    strategy_cost,
+)
+
+
+def battery(unit=150.0, life=10.0):
+    return DeviceStrategy("battery", unit, life)
+
+
+class TestStrategyCost:
+    def test_replacements_counted(self):
+        cost = strategy_cost(battery(life=10.0), horizon_years=50.0)
+        assert cost.expected_replacements == pytest.approx(4.0)
+
+    def test_no_replacement_within_lifetime(self):
+        cost = strategy_cost(battery(life=60.0), horizon_years=50.0)
+        assert cost.expected_replacements == 0.0
+
+    def test_longer_life_cheaper_long_run(self):
+        short = strategy_cost(battery(life=5.0), 50.0)
+        long = strategy_cost(battery(life=40.0), 50.0)
+        assert long.total_usd < short.total_usd
+
+    def test_per_year_normalization(self):
+        cost = strategy_cost(battery(), 50.0)
+        assert cost.usd_per_sensing_year == pytest.approx(cost.total_usd / 50.0)
+
+    def test_discounting_reduces_future_spend(self):
+        plain = strategy_cost(battery(life=5.0), 50.0)
+        discounted = strategy_cost(battery(life=5.0), 50.0, discount_rate=0.05)
+        assert discounted.total_usd < plain.total_usd
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceStrategy("x", -1.0, 10.0)
+        with pytest.raises(ValueError):
+            DeviceStrategy("x", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            strategy_cost(battery(), 0.0)
+        with pytest.raises(ValueError):
+            strategy_cost(battery(), 10.0, discount_rate=-0.1)
+
+
+class TestBreakevenPremium:
+    def test_breakeven_equalizes_costs(self):
+        base = battery()
+        premium = breakeven_premium(base, harvesting_lifetime_years=32.0,
+                                    horizon_years=50.0)
+        harvesting = DeviceStrategy(
+            "harvesting", premium * base.unit_cost_usd, 32.0
+        )
+        a = strategy_cost(base, 50.0).total_usd
+        b = strategy_cost(harvesting, 50.0).total_usd
+        assert b == pytest.approx(a, rel=0.01)
+
+    def test_premium_exceeds_one_over_long_horizon(self):
+        # §1's ROI argument: long-lived hardware is worth a multiple.
+        premium = breakeven_premium(battery(), 32.0, 50.0)
+        assert premium > 2.0
+
+    def test_longer_horizon_larger_premium(self):
+        short = breakeven_premium(battery(), 32.0, 15.0)
+        long = breakeven_premium(battery(), 32.0, 60.0)
+        assert long > short
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            breakeven_premium(battery(), 0.0, 50.0)
+
+
+class TestCoverage:
+    def test_boolean_model(self):
+        # lambda*pi*R^2 = 100 * pi*0.04 / 10 -> 1 - exp(-1.2566).
+        expected = 1.0 - math.exp(-100 * math.pi * 0.04 / 10.0)
+        assert coverage_fraction(100, 10.0, 200.0) == pytest.approx(expected)
+
+    def test_zero_gateways(self):
+        assert coverage_fraction(0, 10.0, 200.0) == 0.0
+
+    def test_monotone_in_gateways(self):
+        assert coverage_fraction(200, 10.0, 200.0) > coverage_fraction(
+            100, 10.0, 200.0
+        )
+
+    def test_inverse_roundtrip(self):
+        n = gateways_for_coverage(0.95, 50.0, 300.0)
+        assert coverage_fraction(n, 50.0, 300.0) >= 0.95
+        assert coverage_fraction(n - 1, 50.0, 300.0) < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_fraction(-1, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            gateways_for_coverage(1.0, 10.0, 100.0)
+
+
+class TestSharing:
+    def test_saving_scales_with_vendors(self):
+        four = compare_sharing(vendors=4)
+        two = compare_sharing(vendors=2)
+        assert four.hardware_saving > two.hardware_saving
+        assert four.hardware_saving == pytest.approx(0.75)
+
+    def test_single_vendor_no_saving(self):
+        assert compare_sharing(vendors=1).hardware_saving == 0.0
+
+    def test_capex_proportional(self):
+        result = compare_sharing(vendors=3)
+        assert result.capex_siloed_usd == pytest.approx(
+            3 * result.capex_shared_usd
+        )
+
+    def test_pooled_coverage_improves(self):
+        result = compare_sharing(vendors=4, target_coverage=0.9)
+        assert result.coverage_if_pooled > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_sharing(vendors=0)

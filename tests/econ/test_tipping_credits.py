@@ -1,0 +1,94 @@
+"""Tests for repro.econ.tipping and repro.econ.credits."""
+
+import pytest
+
+from repro.core.policy import DeploymentPolicy
+from repro.econ import (
+    TippingPointAnalysis,
+    cost_per_device_per_year,
+    fleet_prepay_usd,
+    paper_credit_count,
+    paper_prepay_quote,
+)
+
+
+class TestTippingPoint:
+    def test_decision_flips_with_scale(self):
+        analysis = TippingPointAnalysis()
+        policy = DeploymentPolicy.takeaway_compliant()
+        tipping = analysis.tipping_point(policy)
+        below = analysis.decision(max(1, tipping - 50), policy)
+        above = analysis.decision(tipping + 50, policy)
+        assert not below.should_own
+        assert above.should_own
+
+    def test_tipping_point_is_minimal(self):
+        analysis = TippingPointAnalysis()
+        policy = DeploymentPolicy.takeaway_compliant()
+        tipping = analysis.tipping_point(policy)
+        assert analysis.decision(tipping, policy).should_own
+        if tipping > 1:
+            assert not analysis.decision(tipping - 1, policy).should_own
+
+    def test_worst_practice_forecloses_owning(self):
+        analysis = TippingPointAnalysis()
+        policy = DeploymentPolicy.worst_practice()
+        decision = analysis.decision(1_000_000, policy)
+        assert decision.stranded
+        assert not decision.should_own
+        assert analysis.tipping_point(policy, max_fleet=10_000) == 10_001
+
+    def test_stateful_gateways_raise_tipping_point(self):
+        from repro.core.policy import GatewayRole
+
+        analysis = TippingPointAnalysis()
+        router = DeploymentPolicy.takeaway_compliant()
+        stateful = DeploymentPolicy(gateway_role=GatewayRole.STATEFUL_CONTROLLER)
+        assert analysis.tipping_point(stateful) >= analysis.tipping_point(router)
+
+    def test_gateways_needed_ceiling(self):
+        analysis = TippingPointAnalysis(devices_per_gateway=250)
+        assert analysis.gateways_needed(1) == 1
+        assert analysis.gateways_needed(250) == 1
+        assert analysis.gateways_needed(251) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TippingPointAnalysis().gateways_needed(0)
+
+
+class TestCredits:
+    def test_paper_count(self):
+        # §4.4: one packet per hour for 50 years = 438,000 credits.
+        assert paper_credit_count() == 438_000
+
+    def test_paper_quote(self):
+        quote = paper_prepay_quote()
+        assert quote.credits_needed == 438_000
+        assert quote.credits_provisioned == 500_000
+        assert quote.cost_usd == pytest.approx(5.0)
+        assert quote.covers_schedule
+
+    def test_faster_reporting_costs_more(self):
+        hourly = paper_credit_count(packets_per_hour=1.0)
+        per_10min = paper_credit_count(packets_per_hour=6.0)
+        assert per_10min == 6 * hourly
+
+    def test_cost_per_device_year(self):
+        # Hourly 24-byte packets: 8,760 credits/yr at $1e-5 = ~$0.09/yr.
+        assert cost_per_device_per_year() == pytest.approx(0.0876)
+
+    def test_fleet_prepay_is_noise_at_scale(self):
+        # 10,000 devices prepaid for 50 years: ~$50k.
+        total = fleet_prepay_usd(10_000)
+        assert total == pytest.approx(50_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_credit_count(years=0.0)
+        with pytest.raises(ValueError):
+            paper_prepay_quote(headroom=-0.1)
+        with pytest.raises(ValueError):
+            fleet_prepay_usd(0)
+        with pytest.raises(ValueError):
+            cost_per_device_per_year(packets_per_hour=0.0)

@@ -1,0 +1,113 @@
+"""Tests for repro.energy.budget."""
+
+import pytest
+
+from repro.core import units
+from repro.energy import (
+    CathodicProtectionSource,
+    TaskProfile,
+    budget_report,
+    energy_neutral,
+    storage_for_outage,
+    sustainable_interval,
+)
+
+
+class TestTaskProfile:
+    def test_cycle_energy(self):
+        profile = TaskProfile(sample_energy_j=100e-6, tx_power_w=0.05)
+        assert profile.cycle_energy(0.002) == pytest.approx(200e-6)
+
+    def test_mean_power_includes_sleep_floor(self):
+        profile = TaskProfile(sleep_power_w=1e-6)
+        power = profile.mean_power(units.HOUR, airtime_s=0.001)
+        assert power > 1e-6
+
+    def test_mean_power_scales_with_rate(self):
+        profile = TaskProfile()
+        hourly = profile.mean_power(units.HOUR, 0.002)
+        daily = profile.mean_power(units.DAY, 0.002)
+        assert hourly > daily
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskProfile(sleep_power_w=-1.0)
+        with pytest.raises(ValueError):
+            TaskProfile().cycle_energy(-1.0)
+        with pytest.raises(ValueError):
+            TaskProfile().mean_power(0.0, 0.001)
+
+
+class TestSustainableInterval:
+    def test_richer_source_sustains_faster_reporting(self):
+        profile = TaskProfile()
+        rich = CathodicProtectionSource(nominal_power_w=1e-3)
+        poor = CathodicProtectionSource(nominal_power_w=5e-6)
+        assert sustainable_interval(rich, profile, 0.002) < sustainable_interval(
+            poor, profile, 0.002
+        )
+
+    def test_infeasible_returns_inf(self):
+        profile = TaskProfile(sleep_power_w=1e-3)  # sleep above harvest
+        source = CathodicProtectionSource(nominal_power_w=1e-6)
+        assert sustainable_interval(source, profile, 0.002) == float("inf")
+
+    def test_margin_slows_reporting(self):
+        profile = TaskProfile()
+        source = CathodicProtectionSource()
+        tight = sustainable_interval(source, profile, 0.002, margin=1.0)
+        safe = sustainable_interval(source, profile, 0.002, margin=4.0)
+        assert safe > tight
+
+    def test_bad_margin(self):
+        with pytest.raises(ValueError):
+            sustainable_interval(
+                CathodicProtectionSource(), TaskProfile(), 0.002, margin=0.5
+            )
+
+
+class TestEnergyNeutral:
+    def test_paper_design_point_is_neutral_hourly(self):
+        # A 500 uW cathodic tap trivially sustains hourly 24-byte
+        # reports: the §4.1 design closes its energy budget.
+        assert energy_neutral(
+            CathodicProtectionSource(), TaskProfile(), units.HOUR, airtime_s=0.0014
+        )
+
+    def test_starved_source_not_neutral(self):
+        source = CathodicProtectionSource(nominal_power_w=1e-6)
+        profile = TaskProfile(sample_energy_j=10e-3)
+        assert not energy_neutral(source, profile, units.HOUR, airtime_s=0.4)
+
+
+class TestStorageSizing:
+    def test_outage_scaling(self):
+        profile = TaskProfile()
+        three = storage_for_outage(profile, units.HOUR, 0.002, units.days(3.0))
+        six = storage_for_outage(profile, units.HOUR, 0.002, units.days(6.0))
+        assert six == pytest.approx(2.0 * three)
+
+    def test_negative_outage_rejected(self):
+        with pytest.raises(ValueError):
+            storage_for_outage(TaskProfile(), units.HOUR, 0.002, -1.0)
+
+
+class TestBudgetReport:
+    def test_report_fields(self):
+        report = budget_report(
+            "cathodic", CathodicProtectionSource(), TaskProfile(), airtime_s=0.0014
+        )
+        assert report.source_name == "cathodic"
+        assert report.viable
+        assert report.neutral_at_hourly
+        assert report.harvest_uw == pytest.approx(500.0)
+
+    def test_nonviable_report(self):
+        report = budget_report(
+            "starved",
+            CathodicProtectionSource(nominal_power_w=1e-7),
+            TaskProfile(),
+            airtime_s=0.4,
+            interval_s=units.MINUTE,
+        )
+        assert not report.viable

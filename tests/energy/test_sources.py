@@ -1,0 +1,123 @@
+"""Tests for repro.energy.sources."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.energy import (
+    CathodicProtectionSource,
+    SolarSource,
+    ThermalGradientSource,
+    VibrationSource,
+    source_by_name,
+)
+
+
+class TestCathodic:
+    def test_near_constant_output(self, rng):
+        source = CathodicProtectionSource(noise_fraction=0.0)
+        a = source.power_at(units.days(1.0), rng)
+        b = source.power_at(units.days(180.0), rng)
+        assert a == pytest.approx(b, rel=0.01)
+
+    def test_slow_degradation(self, rng):
+        source = CathodicProtectionSource(noise_fraction=0.0, degradation_per_year=0.005)
+        now = source.power_at(0.0, rng)
+        later = source.power_at(units.years(50.0), rng)
+        assert later == pytest.approx(now * 0.995**50, rel=0.01)
+        assert later > 0.7 * now  # still most of its output at 50 years
+
+    def test_noise_never_negative(self, rng):
+        source = CathodicProtectionSource(noise_fraction=0.5)
+        draws = [source.power_at(1000.0, rng) for _ in range(500)]
+        assert min(draws) >= 0.0
+
+    def test_mean_power(self):
+        assert CathodicProtectionSource(nominal_power_w=1e-3).mean_power() == 1e-3
+
+    def test_negative_time_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CathodicProtectionSource().power_at(-1.0, rng)
+
+
+class TestSolar:
+    def test_zero_at_night(self, rng):
+        source = SolarSource()
+        midnight = units.days(10.0)  # t % DAY == 0 -> 00:00
+        assert source.power_at(midnight, rng) == 0.0
+
+    def test_daylight_positive(self, rng):
+        source = SolarSource(cloud_fraction=0.0)
+        noon = units.days(10.0) + units.hours(12.0)
+        assert source.power_at(noon, rng) > 0.0
+
+    def test_noon_peaks_over_morning(self, rng):
+        source = SolarSource(cloud_fraction=0.0, seasonal_swing=0.0)
+        base = units.days(10.0)
+        noon = source.power_at(base + units.hours(12.0), rng)
+        morning = source.power_at(base + units.hours(7.0), rng)
+        assert noon > morning
+
+    def test_is_daylight(self):
+        source = SolarSource()
+        assert source.is_daylight(units.hours(12.0))
+        assert not source.is_daylight(units.hours(3.0))
+
+    def test_clouds_attenuate(self):
+        cloudy = SolarSource(cloud_fraction=1.0, cloud_attenuation=0.1)
+        clear = SolarSource(cloud_fraction=0.0)
+        assert cloudy.mean_power() < clear.mean_power()
+
+    def test_mean_power_below_peak(self):
+        source = SolarSource(peak_power_w=0.05)
+        assert 0.0 < source.mean_power() < 0.05
+
+
+class TestVibration:
+    def test_rush_hour_beats_midnight(self, rng):
+        source = VibrationSource(burst_probability=0.0)
+        monday = units.days(7.0)  # day 7 % 7 == 0 -> weekday
+        rush = source.power_at(monday + units.hours(8.5), rng)
+        night = source.power_at(monday + units.hours(3.0), rng)
+        assert rush > night
+
+    def test_weekend_quieter(self, rng):
+        source = VibrationSource(burst_probability=0.0)
+        monday_rush = source.power_at(units.days(7.0) + units.hours(8.5), rng)
+        saturday_rush = source.power_at(units.days(12.0) + units.hours(8.5), rng)
+        assert saturday_rush < monday_rush
+
+    def test_mean_power_positive(self):
+        assert VibrationSource().mean_power() > 0.0
+
+
+class TestThermal:
+    def test_gradient_cycles(self, rng):
+        source = ThermalGradientSource()
+        quarter = source.power_at(units.hours(6.0), rng)
+        crossing = source.power_at(units.hours(0.0) + 1.0, rng)
+        assert quarter > crossing
+
+    def test_never_negative(self, rng):
+        source = ThermalGradientSource()
+        draws = [source.power_at(t * 3600.0, rng) for t in range(48)]
+        assert min(draws) >= 0.0
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("cathodic", "solar", "vibration", "thermal"):
+            assert source_by_name(name).mean_power() > 0.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            source_by_name("zero-point")
+
+    def test_cathodic_is_steadiest(self, rng):
+        # The "ambient battery" pitch: far lower variance than solar.
+        times = np.arange(0, units.days(7.0), units.hours(1.0))
+        cathodic = [CathodicProtectionSource().power_at(float(t), rng) for t in times]
+        solar = [SolarSource().power_at(float(t), rng) for t in times]
+        cv_c = np.std(cathodic) / np.mean(cathodic)
+        cv_s = np.std(solar) / np.mean(solar)
+        assert cv_c < 0.1 < cv_s

@@ -1,0 +1,88 @@
+"""Tests for repro.experiment.scenarios."""
+
+import pytest
+
+from repro.core import units
+from repro.core.policy import AttachmentPolicy
+from repro.experiment import (
+    SCENARIOS,
+    monte_carlo_uptime,
+    run_scenario,
+)
+
+
+class TestScenarioCatalog:
+    def test_all_scenarios_produce_configs(self):
+        for name, factory in SCENARIOS.items():
+            config = factory(1)
+            assert config.seed == 1
+
+    def test_owned_only_has_no_helium(self):
+        config = SCENARIOS["owned-only"](1)
+        assert config.n_lora_devices == 0
+        assert config.initial_hotspots == 0
+
+    def test_helium_only_has_no_owned(self):
+        config = SCENARIOS["helium-only"](1)
+        assert config.n_154_devices == 0
+        assert config.n_owned_gateways == 0
+
+    def test_unmaintained_flag(self):
+        assert not SCENARIOS["unmaintained"](1).maintain_gateways
+
+    def test_collapse_has_halflife(self):
+        assert SCENARIOS["network-collapse"](1).network_halflife_years is not None
+
+    def test_instance_bound_policy(self):
+        config = SCENARIOS["instance-bound"](1)
+        assert config.attachment is AttachmentPolicy.INSTANCE_BOUND
+
+    def test_underfunded_wallet_smaller(self):
+        assert (
+            SCENARIOS["underfunded-wallet"](1).wallet_credits
+            < SCENARIOS["as-designed"](1).wallet_credits
+        )
+
+
+class TestRunScenario:
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            run_scenario("moon-base")
+
+    def test_horizon_override(self):
+        result = run_scenario("owned-only", seed=3, horizon=units.years(1.0))
+        assert result.overall.weeks == int(units.years(1.0) // units.WEEK)
+
+    def test_underfunded_wallet_runs_dry(self):
+        result = run_scenario(
+            "underfunded-wallet", seed=3, horizon=units.years(2.0)
+        )
+        # 12 devices at 6h cadence burn 100k*12 credits in well under
+        # 2 years... wallet must show refusals by then.
+        assert result.wallet.refusals == 0 or result.wallet.balance == 0
+
+
+class TestMonteCarlo:
+    def test_aggregates_runs(self):
+        mc = monte_carlo_uptime("owned-only", runs=2, horizon=units.years(1.0))
+        assert mc.runs == 2
+        assert 0.0 <= mc.worst <= mc.mean <= 1.0
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            monte_carlo_uptime("owned-only", runs=0)
+
+
+class TestMonteCarloOverrides:
+    def test_report_interval_override(self):
+        from repro.core import units
+        from repro.experiment import monte_carlo_uptime
+
+        mc = monte_carlo_uptime(
+            "owned-only",
+            runs=2,
+            horizon=units.years(1.0),
+            report_interval=units.days(7.0),
+        )
+        assert mc.runs == 2
+        assert 0.0 <= mc.mean <= 1.0

@@ -1,0 +1,99 @@
+"""Tests for repro.experiment.succession (§4.5 experimenter log)."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.experiment import (
+    SuccessionConfig,
+    SuccessionModel,
+    expected_handoffs,
+)
+
+
+def model(**kw):
+    return SuccessionModel(config=SuccessionConfig(**kw))
+
+
+class TestGeneration:
+    def test_covers_horizon_contiguously(self, rng):
+        m = model()
+        custodians = m.generate(units.years(50.0), rng)
+        assert custodians[0].starts_at == 0.0
+        assert custodians[-1].ends_at == units.years(50.0)
+        for a, b in zip(custodians, custodians[1:]):
+            assert a.ends_at == b.starts_at
+
+    def test_fifty_years_needs_several_custodians(self, rng):
+        m = model(mean_tenure_years=7.0)
+        custodians = m.generate(units.years(50.0), rng)
+        assert len(custodians) >= 3  # founders retire before year 50
+
+    def test_expected_handoffs_estimate(self):
+        assert expected_handoffs(50.0, 7.0) == pytest.approx(50.0 / 7.0)
+        with pytest.raises(ValueError):
+            expected_handoffs(0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            SuccessionConfig(mean_tenure_years=0.0)
+        with pytest.raises(ValueError):
+            SuccessionConfig(handoff_retention=0.0)
+        with pytest.raises(ValueError):
+            model().generate(0.0, rng)
+
+
+class TestLookup:
+    def test_custodian_at(self, rng):
+        m = model()
+        m.generate(units.years(50.0), rng)
+        first = m.custodian_at(0.0)
+        assert first.generation == 0
+        last = m.custodian_at(units.years(49.9))
+        assert last.generation >= first.generation
+
+    def test_lookup_before_generate_rejected(self):
+        with pytest.raises(RuntimeError):
+            model().custodian_at(0.0)
+
+    def test_handoffs_monotone(self, rng):
+        m = model()
+        m.generate(units.years(50.0), rng)
+        counts = [m.handoffs_by(units.years(y)) for y in (0.0, 10.0, 25.0, 50.0)]
+        assert counts == sorted(counts)
+        assert counts[0] == 0
+
+
+class TestKnowledgeDecay:
+    def test_knowledge_declines_with_handoffs(self, rng):
+        m = model(handoff_retention=0.8)
+        m.generate(units.years(50.0), rng)
+        assert m.knowledge_at(0.0) == 1.0
+        assert m.knowledge_at(units.years(49.0)) < 1.0
+
+    def test_miss_probability_rises(self, rng):
+        m = model(handoff_retention=0.7, base_miss_probability=0.02)
+        m.generate(units.years(50.0), rng)
+        early = m.miss_probability_at(units.years(1.0))
+        late = m.miss_probability_at(units.years(49.0))
+        assert early == pytest.approx(0.02)
+        assert late > early
+
+    def test_perfect_retention_keeps_base_rate(self, rng):
+        m = model(handoff_retention=1.0, base_miss_probability=0.02)
+        m.generate(units.years(50.0), rng)
+        assert m.miss_probability_at(units.years(49.0)) == pytest.approx(0.02)
+
+    def test_miss_probability_capped_at_one(self, rng):
+        m = model(handoff_retention=0.3, base_miss_probability=0.5)
+        m.generate(units.years(200.0), rng)
+        assert m.miss_probability_at(units.years(199.0)) <= 1.0
+
+
+class TestRoster:
+    def test_roster_lines(self, rng):
+        m = model()
+        m.generate(units.years(30.0), rng)
+        roster = m.roster()
+        assert len(roster) == len(m.custodians)
+        assert roster[0].startswith("custodian-1:")

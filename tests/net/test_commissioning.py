@@ -1,0 +1,126 @@
+"""Tests for repro.net.commissioning (§3.2 replacement protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Entity
+from repro.core.policy import GatewayRole
+from repro.net import (
+    CampusBackhaul,
+    CloudEndpoint,
+    CommissioningProfile,
+    CommissioningStep,
+    OwnedGateway,
+    commission_replacement,
+)
+from repro.radio import ieee802154
+
+
+class Dev(Entity):
+    TIER = "device"
+
+
+def gateway_pair(sim, role=GatewayRole.ROUTER_ONLY, n_devices=5):
+    cloud = CloudEndpoint(sim)
+    cloud.deploy()
+    backhaul = CampusBackhaul(sim)
+    backhaul.add_dependency(cloud)
+    backhaul.deploy()
+    outgoing = OwnedGateway(
+        sim,
+        spec=ieee802154.default_spec(),
+        path_loss=ieee802154.urban_path_loss(),
+        role=role,
+    )
+    outgoing.add_dependency(backhaul)
+    outgoing.deploy()
+    incoming = OwnedGateway(
+        sim,
+        spec=ieee802154.default_spec(),
+        path_loss=ieee802154.urban_path_loss(),
+        role=role,
+    )
+    incoming.add_dependency(backhaul)
+    incoming.deploy()
+    devices = [Dev(sim) for _ in range(n_devices)]
+    for device in devices:
+        device.add_dependency(outgoing)
+        device.deploy()
+    return outgoing, incoming, devices
+
+
+class TestRouterOnly:
+    def test_succeeds_and_migrates(self, sim, rng):
+        outgoing, incoming, devices = gateway_pair(sim)
+        report = commission_replacement(outgoing, incoming, rng)
+        assert report.succeeded
+        assert report.migrated_devices == 5
+        assert report.stranded_devices == 0
+        assert all(incoming in d.depends_on for d in devices)
+
+    def test_no_key_escrow_step(self, sim, rng):
+        outgoing, incoming, __ = gateway_pair(sim)
+        report = commission_replacement(outgoing, incoming, rng)
+        steps = {s.step for s in report.steps}
+        assert CommissioningStep.KEY_ESCROW not in steps
+
+    def test_labor_independent_of_fleet_size(self, sim, rng):
+        out_small, in_small, __ = gateway_pair(sim, n_devices=2)
+        small = commission_replacement(out_small, in_small, rng)
+        out_large, in_large, __ = gateway_pair(sim, n_devices=50)
+        large = commission_replacement(out_large, in_large, rng)
+        assert large.labor_hours == pytest.approx(small.labor_hours)
+
+
+class TestStateful:
+    def test_escrow_step_present_and_scales(self, sim):
+        rng = np.random.default_rng(0)
+        profile = CommissioningProfile(ttp_unavailable_probability=0.0)
+        out_small, in_small, __ = gateway_pair(
+            sim, role=GatewayRole.STATEFUL_CONTROLLER, n_devices=2
+        )
+        small = commission_replacement(out_small, in_small, rng, profile)
+        out_large, in_large, __ = gateway_pair(
+            sim, role=GatewayRole.STATEFUL_CONTROLLER, n_devices=40
+        )
+        large = commission_replacement(out_large, in_large, rng, profile)
+        assert CommissioningStep.KEY_ESCROW in {s.step for s in small.steps}
+        assert large.labor_hours > small.labor_hours
+        assert small.used_trusted_third_party
+        assert large.migrated_devices == 40
+
+    def test_ttp_unavailable_strands_fleet(self, sim):
+        rng = np.random.default_rng(0)
+        profile = CommissioningProfile(ttp_unavailable_probability=1.0)
+        outgoing, incoming, devices = gateway_pair(
+            sim, role=GatewayRole.STATEFUL_CONTROLLER, n_devices=8
+        )
+        report = commission_replacement(outgoing, incoming, rng, profile)
+        assert not report.succeeded
+        assert not report.used_trusted_third_party
+        assert report.stranded_devices == 8
+        assert report.migrated_devices == 0
+        assert all(outgoing in d.depends_on for d in devices)
+
+    def test_stateful_router_labor_gap(self, sim):
+        # The mechanism behind DeploymentPolicy.gateway_swap_cost_factor:
+        # stateful replacement labor grows with attachments.
+        rng = np.random.default_rng(0)
+        profile = CommissioningProfile(ttp_unavailable_probability=0.0)
+        out_router, in_router, __ = gateway_pair(sim, n_devices=40)
+        router = commission_replacement(out_router, in_router, rng, profile)
+        out_state, in_state, __ = gateway_pair(
+            sim, role=GatewayRole.STATEFUL_CONTROLLER, n_devices=40
+        )
+        stateful = commission_replacement(out_state, in_state, rng, profile)
+        assert stateful.labor_hours > 1.5 * router.labor_hours
+
+
+class TestRehomePolicy:
+    def test_rehome_disallowed_strands(self, sim, rng):
+        outgoing, incoming, devices = gateway_pair(sim)
+        report = commission_replacement(
+            outgoing, incoming, rng, rehome_allowed=False
+        )
+        assert report.stranded_devices == 5
+        assert not report.succeeded

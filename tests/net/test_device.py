@@ -1,0 +1,224 @@
+"""Tests for repro.net.device."""
+
+import pytest
+
+from repro.core import units
+from repro.core.policy import AttachmentPolicy
+from repro.energy import Capacitor, CathodicProtectionSource, HarvestingSystem
+from repro.net import (
+    CampusBackhaul,
+    CloudEndpoint,
+    EdgeDevice,
+    OwnedGateway,
+    Position,
+)
+from repro.radio import ieee802154
+from repro.reliability import Deterministic
+
+
+def build(sim, n_gateways=1, gateway_positions=None, **device_kwargs):
+    cloud = CloudEndpoint(sim)
+    cloud.deploy()
+    backhaul = CampusBackhaul(sim)
+    backhaul.add_dependency(cloud)
+    backhaul.deploy()
+    gateways = []
+    positions = gateway_positions or [Position(10.0 * i, 0.0) for i in range(n_gateways)]
+    for position in positions:
+        gateway = OwnedGateway(
+            sim,
+            spec=ieee802154.default_spec(),
+            path_loss=ieee802154.urban_path_loss(),
+            position=position,
+        )
+        gateway.add_dependency(backhaul)
+        gateway.deploy()
+        gateways.append(gateway)
+    defaults = dict(
+        technology="802.15.4",
+        spec=ieee802154.default_spec(),
+        airtime_s=ieee802154.airtime_s(24),
+        report_interval=units.HOUR,
+        position=Position(5.0, 0.0),
+    )
+    defaults.update(device_kwargs)
+    device = EdgeDevice(sim, **defaults)
+    for gateway in gateways:
+        device.add_dependency(gateway)
+    device.deploy()
+    return cloud, gateways, device
+
+
+class TestReporting:
+    def test_delivers_on_schedule(self, sim):
+        cloud, gateways, device = build(sim)
+        sim.run_until(units.days(1.0))
+        assert device.attempts == 24
+        assert device.delivered >= 22  # near-field link, rare shadowing loss
+        assert len(cloud.deliveries) == device.delivered
+
+    def test_no_gateway_counted(self, sim):
+        cloud, gateways, device = build(sim)
+        gateways[0].fail()
+        sim.run_until(units.days(1.0))
+        assert device.no_gateway == device.attempts
+        assert device.delivered == 0
+
+    def test_distance_causes_radio_loss(self, sim):
+        cloud, gateways, device = build(
+            sim, gateway_positions=[Position(5000.0, 0.0)]
+        )
+        sim.run_until(units.days(2.0))
+        assert device.radio_lost > 0.9 * device.attempts
+
+    def test_dead_device_stops_reporting(self, sim):
+        cloud, gateways, device = build(
+            sim, lifetime_model=Deterministic(units.days(1.0) + 1.0)
+        )
+        sim.run_until(units.days(3.0))
+        assert device.attempts == 24
+        assert not device.alive
+
+    def test_loss_breakdown_sums(self, sim):
+        cloud, gateways, device = build(sim)
+        sim.run_until(units.days(2.0))
+        breakdown = device.loss_breakdown()
+        assert breakdown["attempts"] == (
+            breakdown["delivered"]
+            + breakdown["energy_denied"]
+            + breakdown["no_gateway"]
+            + breakdown["radio_lost"]
+        )
+
+    def test_delivery_rate(self, sim):
+        cloud, gateways, device = build(sim)
+        sim.run_until(units.days(1.0))
+        assert device.delivery_rate == device.delivered / device.attempts
+
+    def test_delivery_rate_zero_before_attempts(self, sim):
+        cloud, gateways, device = build(sim)
+        assert device.delivery_rate == 0.0
+
+
+class TestEnergyIntegration:
+    def test_harvesting_device_sustains_hourly(self, sim):
+        power = HarvestingSystem(
+            source=CathodicProtectionSource(),
+            storage=Capacitor(capacity_j=2.0, stored_j=1.0),
+        )
+        cloud, gateways, device = build(sim, power=power)
+        sim.run_until(units.days(7.0))
+        assert device.energy_denied == 0
+        assert device.delivered > 0
+
+    def test_starved_device_denied(self, sim):
+        power = HarvestingSystem(
+            source=CathodicProtectionSource(nominal_power_w=1e-8),
+            storage=Capacitor(capacity_j=0.001, stored_j=0.001),
+        )
+        cloud, gateways, device = build(sim, power=power)
+        sim.run_until(units.days(7.0))
+        assert device.energy_denied > 0.8 * device.attempts
+
+
+class TestAttachmentPolicy:
+    def test_any_compatible_uses_backup_gateway(self, sim):
+        cloud, gateways, device = build(
+            sim,
+            gateway_positions=[Position(5.0, 0.0), Position(20.0, 0.0)],
+        )
+        gateways[0].fail()
+        sim.run_until(units.days(1.0))
+        assert device.delivered > 0  # re-homed to the second gateway
+
+    def test_instance_bound_stranded_by_first_gateway(self, sim):
+        cloud, gateways, device = build(
+            sim,
+            gateway_positions=[Position(5.0, 0.0), Position(20.0, 0.0)],
+            attachment=AttachmentPolicy.INSTANCE_BOUND,
+        )
+        gateways[0].fail()
+        sim.run_until(units.days(1.0))
+        assert device.delivered == 0
+        assert device.no_gateway == device.attempts
+
+    def test_directory_extends_candidates(self, sim):
+        cloud, gateways, device = build(sim, n_gateways=1)
+        extra = OwnedGateway(
+            sim,
+            spec=ieee802154.default_spec(),
+            path_loss=ieee802154.urban_path_loss(),
+            position=Position(6.0, 0.0),
+        )
+        extra.add_dependency(gateways[0].depends_on[0])
+        extra.deploy()
+        device.gateway_directory = lambda: [extra]
+        gateways[0].fail()
+        sim.run_until(units.days(1.0))
+        assert device.delivered > 0
+
+    def test_directory_ignored_when_instance_bound(self, sim):
+        cloud, gateways, device = build(
+            sim, attachment=AttachmentPolicy.INSTANCE_BOUND
+        )
+        extra = OwnedGateway(
+            sim,
+            spec=ieee802154.default_spec(),
+            path_loss=ieee802154.urban_path_loss(),
+            position=Position(6.0, 0.0),
+        )
+        extra.deploy()
+        device.gateway_directory = lambda: [extra]
+        gateways[0].fail()
+        sim.run_until(units.days(1.0))
+        assert device.delivered == 0
+
+    def test_candidates_sorted_by_distance(self, sim):
+        cloud, gateways, device = build(
+            sim,
+            gateway_positions=[Position(100.0, 0.0), Position(6.0, 0.0)],
+        )
+        candidates = device.candidate_gateways()
+        assert candidates[0].position.x == 6.0
+
+    def test_technology_mismatch_excluded(self, sim):
+        cloud, gateways, device = build(sim)
+        from repro.radio.lora import LoRaParameters, suburban_path_loss
+        from repro.net import ThirdPartyGateway
+
+        lora_gw = ThirdPartyGateway(
+            sim, spec=LoRaParameters().spec(), path_loss=suburban_path_loss()
+        )
+        lora_gw.deploy()
+        device.add_dependency(lora_gw)
+        assert lora_gw not in device.candidate_gateways()
+
+
+class TestValidation:
+    def test_bad_report_interval(self, sim):
+        with pytest.raises(ValueError):
+            EdgeDevice(
+                sim,
+                technology="802.15.4",
+                spec=ieee802154.default_spec(),
+                airtime_s=0.001,
+                report_interval=0.0,
+            )
+
+    def test_bad_airtime(self, sim):
+        with pytest.raises(ValueError):
+            EdgeDevice(
+                sim,
+                technology="802.15.4",
+                spec=ieee802154.default_spec(),
+                airtime_s=0.0,
+                report_interval=units.HOUR,
+            )
+
+    def test_packet_contents(self, sim):
+        cloud, gateways, device = build(sim)
+        packet = device.make_packet()
+        assert packet.source == device.name
+        assert packet.payload_bytes == 24
+        assert packet.signed_with.startswith("factory-key:")
+        assert packet.reading is not None

@@ -1,0 +1,78 @@
+"""Tests for repro.net.geometry."""
+
+import math
+
+import pytest
+
+from repro.net import Position, centroid, grid_positions, uniform_positions
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2), Position(-3, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_iterable(self):
+        x, y = Position(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Position(0, 0).x = 5
+
+
+class TestGridPositions:
+    def test_count(self):
+        assert len(grid_positions(17)) == 17
+
+    def test_spacing(self):
+        positions = grid_positions(4, spacing_m=10.0)
+        assert positions[1].x - positions[0].x == 10.0
+
+    def test_near_square(self):
+        positions = grid_positions(9, spacing_m=1.0)
+        max_x = max(p.x for p in positions)
+        max_y = max(p.y for p in positions)
+        assert max_x == max_y == 2.0
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            grid_positions(4, jitter_m=1.0)
+
+    def test_jitter_bounded(self, rng):
+        positions = grid_positions(100, spacing_m=50.0, jitter_m=5.0, rng=rng)
+        clean = grid_positions(100, spacing_m=50.0)
+        for p, q in zip(positions, clean):
+            assert abs(p.x - q.x) <= 5.0
+            assert abs(p.y - q.y) <= 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_positions(0)
+        with pytest.raises(ValueError):
+            grid_positions(1, spacing_m=0.0)
+
+
+class TestUniformPositions:
+    def test_within_extent(self, rng):
+        positions = uniform_positions(200, 1000.0, rng)
+        assert all(0.0 <= p.x <= 1000.0 and 0.0 <= p.y <= 1000.0 for p in positions)
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            uniform_positions(0, 10.0, rng)
+        with pytest.raises(ValueError):
+            uniform_positions(1, 0.0, rng)
+
+
+class TestCentroid:
+    def test_mean(self):
+        c = centroid([Position(0, 0), Position(2, 4)])
+        assert (c.x, c.y) == (1.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])

@@ -1,0 +1,145 @@
+"""Tests for repro.net.helium."""
+
+import pytest
+
+from repro.core import Simulation, units
+from repro.net import (
+    USD_PER_CREDIT,
+    ChurnModel,
+    CloudEndpoint,
+    DataCreditWallet,
+    HeliumNetwork,
+    credits_for_schedule,
+)
+
+
+class TestDataCreditWallet:
+    def test_provision_cost(self):
+        wallet = DataCreditWallet()
+        cost = wallet.provision(500_000)
+        assert cost == pytest.approx(5.0)  # the paper's $5 wallet
+        assert wallet.balance == 500_000
+
+    def test_debit_and_refusal(self):
+        wallet = DataCreditWallet()
+        wallet.provision(2)
+        assert wallet.debit(1)
+        assert wallet.debit(1)
+        assert not wallet.debit(1)
+        assert wallet.refusals == 1
+        assert wallet.spent == 2
+
+    def test_fixed_price_property(self):
+        # Price per credit never changes with volume (§4.4).
+        small = DataCreditWallet().provision(100) / 100
+        large = DataCreditWallet().provision(10_000_000) / 10_000_000
+        assert small == large == USD_PER_CREDIT
+
+    def test_years_remaining(self):
+        wallet = DataCreditWallet()
+        wallet.provision(438_300)  # hourly for 50 Julian years
+        assert wallet.years_remaining(units.HOUR) == pytest.approx(50.0, rel=0.01)
+
+    def test_validation(self):
+        wallet = DataCreditWallet()
+        with pytest.raises(ValueError):
+            wallet.provision(0)
+        with pytest.raises(ValueError):
+            wallet.debit(0)
+
+
+class TestCreditsForSchedule:
+    def test_hourly_50_years(self):
+        assert credits_for_schedule(units.HOUR, units.years(50.0)) == 438_300
+
+    def test_bigger_packets_cost_more(self):
+        base = credits_for_schedule(units.HOUR, units.years(1.0))
+        double = credits_for_schedule(units.HOUR, units.years(1.0), credits_per_packet=2)
+        assert double == 2 * base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            credits_for_schedule(0.0, 1.0)
+        with pytest.raises(ValueError):
+            credits_for_schedule(1.0, 1.0, credits_per_packet=0)
+
+
+class TestChurnModel:
+    def test_tenures_positive_and_median(self, rng):
+        churn = ChurnModel(median_tenure_years=3.0)
+        draws = churn.sample_tenure(rng, 4000)
+        import numpy as np
+
+        assert (draws > 0).all()
+        assert np.median(draws) == pytest.approx(units.years(3.0), rel=0.1)
+
+    def test_arrival_decay(self):
+        churn = ChurnModel(halflife_years=8.0)
+        assert churn.arrival_rate_at(units.years(8.0), 10.0) == pytest.approx(5.0)
+        steady = ChurnModel(halflife_years=None)
+        assert steady.arrival_rate_at(units.years(100.0), 10.0) == 10.0
+
+
+class TestHeliumNetwork:
+    def _network(self, seed=11, **kwargs):
+        sim = Simulation(seed=seed)
+        cloud = CloudEndpoint(sim)
+        cloud.deploy()
+        defaults = dict(initial_hotspots=30, arrivals_per_year=10.0)
+        defaults.update(kwargs)
+        return sim, cloud, HeliumNetwork(sim, cloud, **defaults)
+
+    def test_initial_population(self):
+        sim, cloud, network = self._network()
+        assert len(network.live_hotspots()) == 30
+
+    def test_churn_and_arrivals_balance(self):
+        # ~10 arrivals/yr vs median 3-yr tenure: population should settle
+        # near arrivals x tenure ~ 30-40, not die or explode.
+        sim, cloud, network = self._network()
+        sim.run_until(units.years(15.0))
+        live = len(network.live_hotspots())
+        assert 10 <= live <= 90
+        assert len(network.hotspots) > 30  # arrivals happened
+
+    def test_collapse_with_halflife(self):
+        sim, cloud, network = self._network(
+            churn=ChurnModel(median_tenure_years=3.0, halflife_years=4.0)
+        )
+        sim.run_until(units.years(40.0))
+        assert len(network.live_hotspots()) <= 3
+
+    def test_hotspots_share_as_backhauls(self):
+        sim, cloud, network = self._network()
+        asns = {h.asn for h in network.hotspots}
+        assert len(asns) < len(network.hotspots)  # concentration exists
+        assert set(network.backhauls) == asns
+
+    def test_fail_as_strands_hotspots(self):
+        sim, cloud, network = self._network()
+        target_asn = network.hotspots[0].asn
+        stranded = network.fail_as(target_asn)
+        assert stranded >= 1
+        assert not network.backhauls[target_asn].alive
+        # Hotspots on that AS are alive but cut off.
+        victim = network.hotspots[0]
+        assert victim.alive
+        assert not victim.effective_alive()
+
+    def test_fail_unknown_as(self):
+        sim, cloud, network = self._network()
+        assert network.fail_as(99_999_999) == 0
+
+    def test_wallet_threaded_to_hotspots(self):
+        wallet = DataCreditWallet()
+        wallet.provision(100)
+        sim, cloud, network = self._network(wallet=wallet)
+        assert all(h.wallet is wallet for h in network.hotspots)
+
+    def test_new_backhaul_after_as_failure(self):
+        sim, cloud, network = self._network()
+        target_asn = network.hotspots[0].asn
+        network.fail_as(target_asn)
+        # A new hotspot assigned to the same AS gets a fresh backhaul.
+        fresh = network._backhaul_for(target_asn)
+        assert fresh.alive

@@ -1,0 +1,141 @@
+"""Tests for repro.net.topology."""
+
+import pytest
+
+from repro.core import units
+from repro.net import (
+    CampusBackhaul,
+    CloudEndpoint,
+    EdgeDevice,
+    Network,
+    OwnedGateway,
+    Position,
+    associate_by_coverage,
+)
+from repro.radio import ieee802154
+
+
+def make_device(sim, position):
+    return EdgeDevice(
+        sim,
+        technology="802.15.4",
+        spec=ieee802154.default_spec(),
+        airtime_s=ieee802154.airtime_s(24),
+        report_interval=units.HOUR,
+        position=position,
+    )
+
+
+def make_gateway(sim, position):
+    return OwnedGateway(
+        sim,
+        spec=ieee802154.default_spec(),
+        path_loss=ieee802154.urban_path_loss(),
+        position=position,
+    )
+
+
+class TestAssociateByCoverage:
+    def test_in_range_attached(self, sim):
+        device = make_device(sim, Position(0, 0))
+        gateway = make_gateway(sim, Position(10, 0))
+        attached = associate_by_coverage([device], [gateway])
+        assert attached[device.name] == 1
+        assert gateway in device.depends_on
+
+    def test_out_of_range_unattached(self, sim):
+        device = make_device(sim, Position(0, 0))
+        gateway = make_gateway(sim, Position(50_000, 0))
+        attached = associate_by_coverage([device], [gateway])
+        assert attached[device.name] == 0
+        assert not device.depends_on
+
+    def test_best_gateways_chosen(self, sim):
+        device = make_device(sim, Position(0, 0))
+        near = make_gateway(sim, Position(5, 0))
+        mid = make_gateway(sim, Position(20, 0))
+        far = make_gateway(sim, Position(60, 0))
+        associate_by_coverage([device], [far, near, mid], max_gateways_per_device=2)
+        assert near in device.depends_on
+        assert mid in device.depends_on
+        assert far not in device.depends_on
+
+    def test_technology_filter(self, sim):
+        from repro.net import ThirdPartyGateway
+        from repro.radio.lora import LoRaParameters, suburban_path_loss
+
+        device = make_device(sim, Position(0, 0))
+        lora_gw = ThirdPartyGateway(
+            sim,
+            spec=LoRaParameters().spec(),
+            path_loss=suburban_path_loss(),
+            position=Position(5, 0),
+        )
+        attached = associate_by_coverage([device], [lora_gw])
+        assert attached[device.name] == 0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            associate_by_coverage([], [], min_success=1.5)
+        with pytest.raises(ValueError):
+            associate_by_coverage([], [], max_gateways_per_device=0)
+
+
+class TestNetwork:
+    def _network(self, sim, n_devices=4):
+        cloud = CloudEndpoint(sim)
+        backhaul = CampusBackhaul(sim)
+        backhaul.add_dependency(cloud)
+        gateway = make_gateway(sim, Position(0, 0))
+        gateway.add_dependency(backhaul)
+        devices = [
+            make_device(sim, Position(5.0 + i, 0.0)) for i in range(n_devices)
+        ]
+        net = Network(
+            sim=sim,
+            endpoint=cloud,
+            backhauls=[backhaul],
+            gateways=[gateway],
+            devices=devices,
+        )
+        associate_by_coverage(devices, [gateway])
+        net.deploy_all()
+        return net
+
+    def test_deploy_all_orders_and_registers(self, sim):
+        net = self._network(sim)
+        assert net.endpoint.alive
+        assert all(d.alive for d in net.devices)
+        assert len(net.hierarchy.tier("device")) == 4
+
+    def test_deploy_all_skips_predeployed(self, sim):
+        cloud = CloudEndpoint(sim)
+        cloud.deploy()
+        net = Network(sim=sim, endpoint=cloud)
+        net.deploy_all()  # must not raise on already-deployed endpoint
+        assert cloud.alive
+
+    def test_delivery_summary_accounts_everything(self, sim):
+        net = self._network(sim)
+        sim.run_until(units.days(2.0))
+        summary = net.delivery_summary()
+        assert summary.attempts == 4 * 48
+        assert summary.attempts == (
+            summary.delivered
+            + summary.energy_denied
+            + summary.no_gateway
+            + summary.radio_lost
+            + summary.dropped_at_gateway
+        )
+        assert summary.delivery_rate > 0.8
+
+    def test_alive_counts(self, sim):
+        net = self._network(sim)
+        counts = net.alive_counts()
+        assert counts == {"device": 4, "gateway": 1, "backhaul": 1, "cloud": 1}
+        net.gateways[0].fail()
+        assert net.alive_counts()["gateway"] == 0
+
+    def test_empty_summary(self, sim):
+        net = Network(sim=sim, endpoint=CloudEndpoint(sim))
+        assert net.delivery_summary().delivery_rate == 0.0

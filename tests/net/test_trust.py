@@ -1,0 +1,132 @@
+"""Tests for repro.net.trust (longitudinal trust, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.net import (
+    SCHEMES,
+    SigningScheme,
+    TrustLevel,
+    TrustPolicy,
+    TrustRegistry,
+    trust_horizon,
+)
+
+
+def registry(leak_rate=0.0, seed=3, **policy_kwargs):
+    policy = TrustPolicy(key_leak_rate_per_year=leak_rate, **policy_kwargs)
+    return TrustRegistry(policy=policy, rng=np.random.default_rng(seed))
+
+
+class TestSigningScheme:
+    def test_break_times_positive_and_median(self, rng):
+        scheme = SigningScheme("x", break_median_years=60.0, break_sigma=0.5)
+        draws = [scheme.sample_break_time(rng) for _ in range(2000)]
+        assert min(draws) > 0.0
+        assert np.median(draws) == pytest.approx(units.years(60.0), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SigningScheme("x", cryptoperiod_years=0.0)
+        with pytest.raises(ValueError):
+            SigningScheme("x", break_median_years=0.0)
+
+    def test_catalogue_sanity(self):
+        for scheme in SCHEMES.values():
+            assert scheme.break_median_years > scheme.cryptoperiod_years
+
+
+class TestTrustLifecycle:
+    def test_fresh_device_trusted(self):
+        reg = registry()
+        reg.commission("dev-1", "ed25519", at=0.0)
+        assert reg.level("dev-1", units.years(5.0)) is TrustLevel.TRUSTED
+
+    def test_unknown_device_untrusted(self):
+        assert registry().level("ghost", 0.0) is TrustLevel.UNTRUSTED
+
+    def test_degraded_after_cryptoperiod(self):
+        reg = registry(degraded_acceptance_years=15.0)
+        record = reg.commission("dev-1", "ed25519", at=0.0)
+        record_break = record.scheme_breaks_at
+        t = units.years(SCHEMES["ed25519"].cryptoperiod_years + 1.0)
+        if t < record_break:
+            assert reg.level("dev-1", t) is TrustLevel.DEGRADED
+
+    def test_untrusted_after_degraded_window(self):
+        reg = registry(degraded_acceptance_years=5.0)
+        reg.commission("dev-1", "ed25519", at=0.0)
+        t = units.years(SCHEMES["ed25519"].cryptoperiod_years + 6.0)
+        assert reg.level("dev-1", t) is TrustLevel.UNTRUSTED
+
+    def test_scheme_break_forces_untrusted(self):
+        reg = registry()
+        record = reg.commission("dev-1", "ecdsa-p256", at=0.0)
+        assert (
+            record.level_at(record.scheme_breaks_at + 1.0, reg.policy)
+            is TrustLevel.UNTRUSTED
+        )
+
+    def test_key_leak_forces_untrusted(self):
+        reg = registry(leak_rate=0.5)  # leaks fast
+        record = reg.commission("dev-1", "hmac-sha256", at=0.0)
+        assert record.key_leaks_at is not None
+        assert (
+            record.level_at(record.key_leaks_at + 1.0, reg.policy)
+            is TrustLevel.UNTRUSTED
+        )
+
+    def test_double_commission_rejected(self):
+        reg = registry()
+        reg.commission("dev-1", "ed25519")
+        with pytest.raises(ValueError):
+            reg.commission("dev-1", "ed25519")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            registry().commission("dev-1", "rot13")
+
+
+class TestFleetTrust:
+    def _fleet(self, n=200, leak_rate=0.002):
+        reg = registry(leak_rate=leak_rate)
+        for index in range(n):
+            reg.commission(f"dev-{index}", "ed25519", at=0.0)
+        return reg
+
+    def test_census_sums_to_fleet(self):
+        reg = self._fleet()
+        census = reg.census(units.years(30.0))
+        assert sum(census.values()) == 200
+
+    def test_trusted_fraction_declines(self):
+        reg = self._fleet()
+        early = reg.trusted_fraction(units.years(5.0))
+        late = reg.trusted_fraction(units.years(40.0))
+        assert early > late
+
+    def test_blocklist_grows(self):
+        reg = self._fleet(leak_rate=0.02)
+        early = len(reg.blocklist_at(units.years(2.0)))
+        late = len(reg.blocklist_at(units.years(45.0)))
+        assert late > early
+
+    def test_trust_horizon_shorter_than_hardware(self):
+        # §4.1's point: trust, not hardware, can be the binding lifetime.
+        reg = self._fleet()
+        horizon = trust_horizon(reg, min_fraction=0.5)
+        assert horizon <= units.years(SCHEMES["ed25519"].cryptoperiod_years) + units.years(1.0)
+
+    def test_trust_horizon_empty_registry(self):
+        with pytest.raises(ValueError):
+            trust_horizon(registry())
+
+    def test_empty_registry_fraction(self):
+        assert registry().trusted_fraction(0.0) == 0.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TrustPolicy(degraded_acceptance_years=-1.0)
+        with pytest.raises(ValueError):
+            TrustPolicy(key_leak_rate_per_year=2.0)

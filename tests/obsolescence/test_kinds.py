@@ -1,0 +1,59 @@
+"""Tests for repro.obsolescence.kinds."""
+
+from repro.obsolescence import (
+    ObsolescenceEvent,
+    ObsolescenceKind,
+    classify_reason,
+    split_events,
+)
+
+
+class TestSplit:
+    def _events(self):
+        return [
+            ObsolescenceEvent(0.0, "a", ObsolescenceKind.FUNCTIONAL),
+            ObsolescenceEvent(1.0, "b", ObsolescenceKind.TECHNICAL),
+            ObsolescenceEvent(2.0, "c", ObsolescenceKind.TECHNICAL),
+            ObsolescenceEvent(3.0, "d", ObsolescenceKind.PLANNED),
+        ]
+
+    def test_tally(self):
+        split = split_events(self._events())
+        assert split.total == 4
+        assert split.by_kind[ObsolescenceKind.TECHNICAL] == 2
+
+    def test_fractions(self):
+        split = split_events(self._events())
+        assert split.fraction(ObsolescenceKind.FUNCTIONAL) == 0.25
+        assert split.fraction(ObsolescenceKind.STYLE) == 0.0
+
+    def test_wasted_fraction(self):
+        # Everything except functional wear-out is working hardware
+        # thrown away.
+        split = split_events(self._events())
+        assert split.wasted_fraction == 0.75
+
+    def test_empty(self):
+        split = split_events([])
+        assert split.total == 0
+        assert split.fraction(ObsolescenceKind.FUNCTIONAL) == 0.0
+
+
+class TestClassifyReason:
+    def test_functional(self):
+        assert classify_reason("wearout") is ObsolescenceKind.FUNCTIONAL
+        assert classify_reason("battery dead") is ObsolescenceKind.FUNCTIONAL
+
+    def test_technical(self):
+        assert classify_reason("2G-sunset") is ObsolescenceKind.TECHNICAL
+        assert classify_reason("owner-churn") is ObsolescenceKind.TECHNICAL
+        assert classify_reason("scheduled upgrade") is ObsolescenceKind.TECHNICAL
+
+    def test_planned(self):
+        assert classify_reason("vendor lockout") is ObsolescenceKind.PLANNED
+
+    def test_style(self):
+        assert classify_reason("style refresh") is ObsolescenceKind.STYLE
+
+    def test_unknown_defaults_functional(self):
+        assert classify_reason("mystery") is ObsolescenceKind.FUNCTIONAL

@@ -1,0 +1,102 @@
+"""Tests for repro.obsolescence.timeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.obsolescence import (
+    Generation,
+    TechnologyTimeline,
+    historical_cellular_timeline,
+    synthesize_timeline,
+)
+
+
+class TestGeneration:
+    def test_availability_window(self):
+        g = Generation("2G", units.years(2.0), units.years(29.0))
+        assert not g.available(units.years(1.0))
+        assert g.available(units.years(10.0))
+        assert not g.available(units.years(29.0))
+
+    def test_open_ended(self):
+        g = Generation("5G", units.years(29.0), None)
+        assert g.available(units.years(500.0))
+        assert g.service_years is None
+
+    def test_service_years(self):
+        g = Generation("3G", units.years(12.0), units.years(32.0))
+        assert g.service_years == pytest.approx(20.0)
+
+
+class TestHistoricalTimeline:
+    def test_current_tracks_newest(self):
+        tl = historical_cellular_timeline()
+        assert tl.current(units.years(5.0)).name == "2G"
+        assert tl.current(units.years(15.0)).name == "3G"
+        assert tl.current(units.years(25.0)).name == "4G"
+        assert tl.current(units.years(40.0)).name == "5G"
+
+    def test_nothing_before_launch(self):
+        assert historical_cellular_timeline().current(units.years(1.0)) is None
+
+    def test_available_overlap(self):
+        tl = historical_cellular_timeline()
+        names = {g.name for g in tl.available_at(units.years(25.0))}
+        assert names == {"2G", "3G", "4G"}
+
+    def test_sunset_lookup(self):
+        tl = historical_cellular_timeline()
+        assert tl.sunset_of("2G") == units.years(29.0)
+        assert tl.sunset_of("5G") is None
+        assert tl.sunset_of("6G") is None
+
+    def test_mean_service_years(self):
+        tl = historical_cellular_timeline()
+        # 2G: 27, 3G: 20, 4G: 25 -> 24.
+        assert tl.mean_service_years() == pytest.approx(24.0)
+
+    def test_strandings_treadmill(self):
+        tl = historical_cellular_timeline()
+        # A 2G device deployed at year 5 is stranded at the 2G sunset
+        # (year 29); its replacement binds to 5G, which has no announced
+        # sunset, so the treadmill stops at one stranding.
+        count = tl.strandings(units.years(5.0), units.years(50.0))
+        assert count == 1
+
+    def test_strandings_repeat_on_closed_timeline(self):
+        # Every generation closes after 10 years, new one every 10: a
+        # century horizon forces nine replacements.
+        generations = [
+            Generation(f"G{i}", units.years(10.0 * i), units.years(10.0 * (i + 1)))
+            for i in range(12)
+        ]
+        tl = TechnologyTimeline(generations=generations)
+        assert tl.strandings(0.0, units.years(100.0)) == 9
+
+    def test_strandings_zero_for_short_horizon(self):
+        tl = historical_cellular_timeline()
+        assert tl.strandings(units.years(5.0), units.years(20.0)) == 0
+
+
+class TestSynthesizedTimeline:
+    def test_covers_horizon(self, rng):
+        tl = synthesize_timeline(rng, horizon=units.years(100.0))
+        assert len(tl.generations) >= 5
+        assert tl.current(units.years(50.0)) is not None
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_timeline(np.random.default_rng(3))
+        b = synthesize_timeline(np.random.default_rng(3))
+        assert [g.sunset_at for g in a.generations] == [
+            g.sunset_at for g in b.generations
+        ]
+
+    def test_service_lives_plausible(self, rng):
+        tl = synthesize_timeline(rng, horizon=units.years(300.0))
+        years = [g.service_years for g in tl.generations]
+        assert 10.0 < np.mean(years) < 40.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_timeline(rng, mean_generation_gap=0.0)

@@ -1,0 +1,92 @@
+"""Tests for repro.obsolescence.upgrade."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.obsolescence import (
+    ObsolescenceKind,
+    UpgradePolicy,
+    historical_cellular_timeline,
+    simulate_fleet_fates,
+)
+
+
+def lifetimes(rng, n=2000, mean_years=10.0):
+    return rng.weibull(4.0, n) * units.years(mean_years / 0.906)  # mean ~ mean_years
+
+
+class TestUpgradePolicy:
+    def test_factories(self):
+        rtf = UpgradePolicy.run_to_failure()
+        assert rtf.refresh_years is None
+        assert not rtf.follow_sunsets
+        today = UpgradePolicy.todays_operator(5.0)
+        assert today.refresh_years == 5.0
+        assert today.follow_sunsets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpgradePolicy(refresh_years=0.0)
+        with pytest.raises(ValueError):
+            UpgradePolicy(style_refresh_probability=2.0)
+
+
+class TestFleetFates:
+    def test_run_to_failure_full_utilization(self, rng):
+        fates = simulate_fleet_fates(lifetimes(rng), UpgradePolicy.run_to_failure())
+        assert fates.utilization == 1.0
+        assert fates.split.wasted_fraction == 0.0
+        assert fates.wasted_service_years == pytest.approx(0.0)
+
+    def test_todays_operator_wastes_hardware(self, rng):
+        # §2: 2-7-year refresh against ~10-year hardware throws most of
+        # the hardware's life away.
+        fates = simulate_fleet_fates(
+            lifetimes(rng), UpgradePolicy.todays_operator(5.0)
+        )
+        assert fates.utilization < 0.6
+        assert fates.split.wasted_fraction > 0.8
+        assert fates.mean_realized_years <= 5.0
+
+    def test_shorter_refresh_wastes_more(self, rng):
+        lives = lifetimes(rng)
+        two = simulate_fleet_fates(lives, UpgradePolicy.todays_operator(2.0))
+        seven = simulate_fleet_fates(lives, UpgradePolicy.todays_operator(7.0))
+        assert two.utilization < seven.utilization
+
+    def test_sunset_kills_unrefreshed_fleet(self, rng):
+        timeline = historical_cellular_timeline()
+        policy = UpgradePolicy(refresh_years=None, follow_sunsets=True)
+        # Deploy at year 20 on 4G (sunset year 45): hardware with a
+        # 40-year mean life mostly dies technically at the sunset.
+        lives = lifetimes(rng, mean_years=40.0)
+        fates = simulate_fleet_fates(
+            lives, policy, timeline, deploy_t=units.years(20.0)
+        )
+        assert fates.split.fraction(ObsolescenceKind.TECHNICAL) > 0.5
+
+    def test_takeaway_compliant_ignores_sunsets(self, rng):
+        timeline = historical_cellular_timeline()
+        policy = UpgradePolicy(refresh_years=None, follow_sunsets=False)
+        lives = lifetimes(rng, mean_years=40.0)
+        fates = simulate_fleet_fates(
+            lives, policy, timeline, deploy_t=units.years(20.0)
+        )
+        assert fates.split.fraction(ObsolescenceKind.FUNCTIONAL) == 1.0
+
+    def test_style_refresh(self, rng):
+        policy = UpgradePolicy(
+            refresh_years=None, follow_sunsets=False, style_refresh_probability=0.5
+        )
+        fates = simulate_fleet_fates(lifetimes(rng), policy, rng=rng)
+        assert fates.split.fraction(ObsolescenceKind.STYLE) > 0.5
+
+    def test_style_requires_rng(self, rng):
+        policy = UpgradePolicy(style_refresh_probability=0.5)
+        with pytest.raises(ValueError):
+            simulate_fleet_fates(lifetimes(rng), policy)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fleet_fates(np.array([]), UpgradePolicy())

@@ -1,0 +1,105 @@
+"""Tests for repro.radio.channel (shared-channel contention)."""
+
+import math
+
+import pytest
+
+from repro.core import units
+from repro.radio import (
+    ChannelLoad,
+    capacity_table,
+    density_sweep,
+    ieee802154,
+    max_devices_for_reliability,
+)
+from repro.radio.lora import LoRaParameters
+
+
+class TestChannelLoad:
+    def test_offered_erlangs(self):
+        load = ChannelLoad(devices=100, airtime_s=0.01, interval_s=10.0)
+        assert load.offered_erlangs == pytest.approx(0.1)
+
+    def test_single_device_near_perfect(self):
+        load = ChannelLoad(1, 0.0014, units.HOUR)
+        assert load.delivery_probability() > 0.999999
+
+    def test_delivery_falls_with_density(self):
+        airtime, interval = 0.4, units.HOUR
+        probs = [
+            ChannelLoad(n, airtime, interval).delivery_probability()
+            for n in (10, 1000, 10_000)
+        ]
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_aloha_formula(self):
+        load = ChannelLoad(devices=3600, airtime_s=0.5, interval_s=3600.0)
+        # G = 0.5 -> exp(-1)
+        assert load.delivery_probability() == pytest.approx(math.exp(-1.0))
+
+    def test_throughput_peak_at_half_erlang(self):
+        airtime, interval = 1.0, 3600.0
+        # G = n/3600; peak S at G=0.5 -> n=1800.
+        peak = ChannelLoad(1800, airtime, interval).throughput_erlangs()
+        below = ChannelLoad(900, airtime, interval).throughput_erlangs()
+        above = ChannelLoad(3600, airtime, interval).throughput_erlangs()
+        assert peak > below
+        assert peak > above
+        assert peak == pytest.approx(0.5 * math.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelLoad(-1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ChannelLoad(1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ChannelLoad(1, 1.0, 0.0)
+
+
+class TestCapacity:
+    def test_shorter_airtime_more_devices(self):
+        fast = max_devices_for_reliability(0.0014, units.HOUR)
+        slow = max_devices_for_reliability(1.3, units.HOUR)
+        assert fast > 100 * slow
+
+    def test_figure1_thousands_per_gateway_is_feasible(self):
+        # Figure 1: "gateways may support thousands of devices" — true
+        # for 802.15.4 at hourly reporting with huge margin.
+        capacity = max_devices_for_reliability(
+            ieee802154.airtime_s(24), units.HOUR, min_delivery=0.9
+        )
+        assert capacity > 10_000
+
+    def test_sf12_capacity_is_orders_lower(self):
+        sf12 = LoRaParameters(spreading_factor=12).airtime_s(24)
+        capacity = max_devices_for_reliability(sf12, units.HOUR, 0.9)
+        assert capacity < 200
+
+    def test_slower_reporting_scales_linearly(self):
+        hourly = max_devices_for_reliability(0.01, units.HOUR)
+        daily = max_devices_for_reliability(0.01, units.DAY)
+        assert daily == pytest.approx(24 * hourly, rel=0.01)
+
+    def test_capacity_table(self):
+        table = capacity_table({"a": 0.001, "b": 0.1})
+        # int truncation makes the ratio approximate, not exact.
+        assert table["a"] == pytest.approx(100 * table["b"], rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_devices_for_reliability(0.001, units.HOUR, min_delivery=1.0)
+        with pytest.raises(ValueError):
+            max_devices_for_reliability(0.0, units.HOUR)
+
+
+class TestDensitySweep:
+    def test_monotone_delivery(self):
+        rows = density_sweep(0.37, units.HOUR, (10, 100, 1000, 10_000))
+        probs = [r.delivery_probability for r in rows]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_effective_reports_saturate(self):
+        # Beyond the ALOHA peak, adding devices reduces goodput.
+        rows = density_sweep(1.0, units.HOUR, (1800, 3600, 14_400))
+        goodput = [r.effective_reports_per_hour for r in rows]
+        assert goodput[0] > goodput[2]

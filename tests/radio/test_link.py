@@ -1,0 +1,138 @@
+"""Tests for repro.radio.link."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    PathLossModel,
+    RadioSpec,
+    attempt_delivery,
+    link_budget,
+    max_range_m,
+    packet_success_probability,
+    received_power_dbm,
+)
+
+
+def spec(**kw):
+    defaults = dict(
+        name="test",
+        frequency_hz=915e6,
+        tx_power_dbm=14.0,
+        sensitivity_dbm=-120.0,
+        bitrate_bps=1000.0,
+    )
+    defaults.update(kw)
+    return RadioSpec(**defaults)
+
+
+class TestPathLoss:
+    def test_loss_increases_with_distance(self):
+        model = PathLossModel(exponent=3.0)
+        assert model.mean_loss_db(100.0, 915e6) > model.mean_loss_db(10.0, 915e6)
+
+    def test_exponent_slope(self):
+        model = PathLossModel(exponent=2.0, shadowing_sigma_db=0.0)
+        # 10x distance at exponent 2 = +20 dB.
+        delta = model.mean_loss_db(100.0, 915e6) - model.mean_loss_db(10.0, 915e6)
+        assert delta == pytest.approx(20.0)
+
+    def test_higher_frequency_higher_loss(self):
+        model = PathLossModel()
+        assert model.mean_loss_db(100.0, 2.45e9) > model.mean_loss_db(100.0, 915e6)
+
+    def test_penetration_adds_flat_db(self):
+        plain = PathLossModel(penetration_db=0.0)
+        concrete = PathLossModel(penetration_db=12.0)
+        delta = concrete.mean_loss_db(50.0, 915e6) - plain.mean_loss_db(50.0, 915e6)
+        assert delta == pytest.approx(12.0)
+
+    def test_below_reference_clamped(self):
+        model = PathLossModel(reference_distance_m=1.0)
+        assert model.mean_loss_db(0.5, 915e6) == model.mean_loss_db(1.0, 915e6)
+
+    def test_shadowing_sampling_statistics(self, rng):
+        model = PathLossModel(shadowing_sigma_db=6.0)
+        draws = np.array([model.sample_loss_db(100.0, 915e6, rng) for _ in range(4000)])
+        assert draws.std() == pytest.approx(6.0, rel=0.1)
+        assert draws.mean() == pytest.approx(model.mean_loss_db(100.0, 915e6), abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathLossModel(exponent=0.5)
+        with pytest.raises(ValueError):
+            PathLossModel(reference_distance_m=0.0)
+        with pytest.raises(ValueError):
+            PathLossModel().mean_loss_db(0.0, 915e6)
+
+
+class TestPacketSuccess:
+    def test_half_at_sensitivity(self):
+        s = spec()
+        assert packet_success_probability(s, -120.0) == pytest.approx(0.5)
+
+    def test_monotone_in_rx_power(self):
+        s = spec()
+        values = [packet_success_probability(s, p) for p in (-130, -120, -110)]
+        assert values[0] < values[1] < values[2]
+
+    def test_strong_signal_near_one(self):
+        assert packet_success_probability(spec(), -90.0) > 0.999
+
+    def test_received_power(self):
+        assert received_power_dbm(spec(tx_power_dbm=14.0), 100.0) == -86.0
+
+
+class TestLinkBudget:
+    def test_margin_definition(self):
+        budget = link_budget(spec(), PathLossModel(shadowing_sigma_db=0.0), 100.0)
+        assert budget.margin_db == pytest.approx(
+            budget.rx_power_dbm - spec().sensitivity_dbm
+        )
+
+    def test_closer_is_better(self):
+        model = PathLossModel()
+        near = link_budget(spec(), model, 10.0)
+        far = link_budget(spec(), model, 1000.0)
+        assert near.mean_success > far.mean_success
+
+
+class TestMaxRange:
+    def test_sub_ghz_outranges_2_4(self):
+        model = PathLossModel(exponent=3.0)
+        lora_like = spec(frequency_hz=915e6, sensitivity_dbm=-132.0)
+        zigbee_like = spec(frequency_hz=2.45e9, tx_power_dbm=0.0, sensitivity_dbm=-100.0)
+        assert max_range_m(lora_like, model) > 10.0 * max_range_m(zigbee_like, model)
+
+    def test_range_shrinks_with_required_success(self):
+        model = PathLossModel()
+        assert max_range_m(spec(), model, 0.99) < max_range_m(spec(), model, 0.5)
+
+    def test_hopeless_radio_zero_range(self):
+        model = PathLossModel()
+        dead = spec(tx_power_dbm=-100.0, sensitivity_dbm=-40.0)
+        assert max_range_m(dead, model) == 0.0
+
+    def test_bad_required_success(self):
+        with pytest.raises(ValueError):
+            max_range_m(spec(), PathLossModel(), required_success=1.0)
+
+
+class TestAttemptDelivery:
+    def test_short_link_almost_always_works(self, rng):
+        model = PathLossModel(shadowing_sigma_db=2.0)
+        outcomes = [attempt_delivery(spec(), model, 10.0, rng) for _ in range(300)]
+        assert sum(outcomes) > 290
+
+    def test_absurd_link_almost_always_fails(self, rng):
+        model = PathLossModel()
+        outcomes = [attempt_delivery(spec(), model, 80_000.0, rng) for _ in range(300)]
+        assert sum(outcomes) < 10
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            spec(frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            spec(bitrate_bps=0.0)
+        with pytest.raises(ValueError):
+            spec(per_slope_db=0.0)

@@ -1,0 +1,112 @@
+"""Tests for the 802.15.4 and LoRa PHY models."""
+
+import pytest
+
+from repro.core import units
+from repro.radio import EU868, US915, LoRaParameters, ieee802154
+from repro.radio.lora import SENSITIVITY_DBM, suburban_path_loss
+
+
+class TestIeee802154:
+    def test_airtime_24_byte_payload(self):
+        # 6 sync/header + 11 MAC + 24 payload + 2 FCS = 43 B at 250 kbps.
+        assert ieee802154.airtime_s(24) == pytest.approx(43 * 8 / 250e3)
+
+    def test_airtime_monotone_in_payload(self):
+        assert ieee802154.airtime_s(50) > ieee802154.airtime_s(10)
+
+    def test_max_psdu_enforced(self):
+        max_payload = ieee802154.MAX_PSDU_BYTES - ieee802154.MAC_OVERHEAD_BYTES - 2
+        ieee802154.frame_bytes(max_payload)  # fits
+        with pytest.raises(ValueError):
+            ieee802154.frame_bytes(max_payload + 1)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ieee802154.airtime_s(-1)
+
+    def test_default_spec(self):
+        spec = ieee802154.default_spec()
+        assert spec.frequency_hz == pytest.approx(2.45e9)
+        assert spec.sensitivity_dbm == -100.0
+        assert spec.bitrate_bps == 250_000.0
+
+    def test_embedded_path_loss_penalty(self):
+        assert ieee802154.urban_path_loss(embedded=True).penetration_db == 12.0
+        assert ieee802154.urban_path_loss(embedded=False).penetration_db == 0.0
+
+    def test_csma_mean_backoff(self):
+        csma = ieee802154.CsmaParameters()
+        assert csma.mean_backoff_s() == pytest.approx((2**3 - 1) / 2 * 320e-6)
+
+
+class TestLoRaAirtime:
+    def test_sf7_fast_sf12_slow(self):
+        fast = LoRaParameters(spreading_factor=7).airtime_s(24)
+        slow = LoRaParameters(spreading_factor=12).airtime_s(24)
+        assert slow > 10.0 * fast
+
+    def test_known_airtime_sf10(self):
+        # SX1276 calculator: SF10/125k/CR4:5, 24B explicit header,
+        # 8-symbol preamble -> ~370 ms.
+        airtime = LoRaParameters(spreading_factor=10).airtime_s(24)
+        assert airtime == pytest.approx(0.371, abs=0.02)
+
+    def test_symbol_time(self):
+        p = LoRaParameters(spreading_factor=10, bandwidth_hz=125e3)
+        assert p.symbol_time_s == pytest.approx(1024 / 125e3)
+
+    def test_airtime_monotone_in_payload(self):
+        p = LoRaParameters(spreading_factor=9)
+        assert p.airtime_s(50) > p.airtime_s(10)
+
+    def test_low_datarate_optimize_lengthens(self):
+        base = LoRaParameters(spreading_factor=12)
+        ldo = LoRaParameters(spreading_factor=12, low_datarate_optimize=True)
+        assert ldo.airtime_s(24) >= base.airtime_s(24)
+
+    def test_sensitivity_table_monotone(self):
+        values = [SENSITIVITY_DBM[sf] for sf in range(7, 13)]
+        assert values == sorted(values, reverse=True)
+
+    def test_spec_inherits_sensitivity(self):
+        p = LoRaParameters(spreading_factor=12)
+        assert p.spec().sensitivity_dbm == -137.0
+
+    def test_bitrate_falls_with_sf(self):
+        assert (
+            LoRaParameters(spreading_factor=7).bitrate_bps()
+            > LoRaParameters(spreading_factor=12).bitrate_bps()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoRaParameters(spreading_factor=6)
+        with pytest.raises(ValueError):
+            LoRaParameters(coding_rate=5)
+        with pytest.raises(ValueError):
+            LoRaParameters().airtime_s(-1)
+
+
+class TestRegionalLimits:
+    def test_us915_dwell_time(self):
+        airtime = LoRaParameters(spreading_factor=10).airtime_s(24)
+        assert US915.permits(airtime, units.HOUR)
+        long_airtime = LoRaParameters(spreading_factor=12).airtime_s(24)
+        assert long_airtime > 0.4
+        assert not US915.permits(long_airtime, units.HOUR)
+
+    def test_eu868_duty_cycle(self):
+        airtime = 0.4
+        assert EU868.min_interval_s(airtime) == pytest.approx(40.0)
+        assert EU868.permits(airtime, 41.0)
+        assert not EU868.permits(airtime, 39.0)
+
+    def test_hourly_reporting_is_legal_everywhere(self):
+        # The paper's schedule: one 24-byte packet per hour at SF10.
+        airtime = LoRaParameters(spreading_factor=10).airtime_s(24)
+        assert US915.permits(airtime, units.HOUR)
+        assert EU868.permits(airtime, units.HOUR)
+
+    def test_suburban_path_loss_embedding(self):
+        assert suburban_path_loss(embedded=True).penetration_db == 8.0

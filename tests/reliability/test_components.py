@@ -1,0 +1,112 @@
+"""Tests for repro.reliability.components."""
+
+import pytest
+
+from repro.core import units
+from repro.reliability import (
+    battery_powered_device,
+    ceramic_capacitor,
+    device_lifetime_model,
+    dominant_risk,
+    electrolytic_capacitor,
+    energy_harvesting_device,
+    gateway_platform,
+    harvester_transducer,
+    mcu_flash,
+    mean_lifetime_years,
+    pcb_substrate,
+    primary_battery,
+    rechargeable_battery,
+    solder_joints,
+)
+
+
+class TestIndividualComponents:
+    def test_primary_battery_mean_near_nominal(self):
+        c = primary_battery(nominal_years=10.0)
+        assert 8.0 < c.mean_years() < 11.0
+
+    def test_rechargeable_cycle_bound(self):
+        c = rechargeable_battery(cycle_life=3650, cycles_per_day=1.0)
+        assert c.mean_years() == pytest.approx(10.0, rel=0.15)
+
+    def test_rechargeable_invalid_rate(self):
+        with pytest.raises(ValueError):
+            rechargeable_battery(cycles_per_day=0.0)
+
+    def test_electrolytic_arrhenius_doubling(self):
+        cool = electrolytic_capacitor(ambient_temp_c=35.0)
+        hot = electrolytic_capacitor(ambient_temp_c=65.0)
+        # 30 C hotter = 3 doublings = 8x shorter life.
+        assert cool.mean_years() / hot.mean_years() == pytest.approx(8.0, rel=0.01)
+
+    def test_ceramic_outlasts_electrolytic(self):
+        assert ceramic_capacitor().mean_years() > electrolytic_capacitor().mean_years()
+
+    def test_pcb_classes_ordered(self):
+        lives = [pcb_substrate(c).mean_years() for c in (1, 2, 3)]
+        assert lives[0] < lives[1] < lives[2]
+
+    def test_pcb_invalid_class(self):
+        with pytest.raises(ValueError):
+            pcb_substrate(quality_class=4)
+
+    def test_solder_scales_with_cycling(self):
+        gentle = solder_joints(thermal_cycles_per_day=0.5)
+        harsh = solder_joints(thermal_cycles_per_day=4.0)
+        assert gentle.mean_years() > harsh.mean_years()
+
+    def test_flash_scales_with_writes(self):
+        journaling = mcu_flash(write_cycles_per_day=24.0)
+        quiet = mcu_flash(write_cycles_per_day=0.05)
+        assert quiet.mean_years() > 100.0 * journaling.mean_years() / 10.0
+
+    def test_harvester_kinds(self):
+        for kind in ("cathodic", "solar", "vibration", "thermal"):
+            assert harvester_transducer(kind).mean_years() > 15.0
+
+    def test_harvester_unknown_kind(self):
+        with pytest.raises(ValueError):
+            harvester_transducer("fusion")
+
+
+class TestCompositeDevices:
+    def test_battery_device_matches_conventional_wisdom(self):
+        # §1: batteries/caps/PCBs hold mean lifetime to ~10-15 years.
+        years = mean_lifetime_years(battery_powered_device())
+        assert 8.0 <= years <= 16.0
+
+    def test_harvesting_device_beats_battery_device(self):
+        battery = mean_lifetime_years(battery_powered_device())
+        harvest = mean_lifetime_years(energy_harvesting_device())
+        assert harvest > 2.0 * battery
+
+    def test_battery_is_dominant_risk(self, rng):
+        model = battery_powered_device()
+        ranked = dominant_risk(model, rng, n=3000)
+        # risk index 0 is the battery; it should lead the failure causes.
+        assert ranked[0][0] == 0
+        assert ranked[0][1] > 0.35
+
+    def test_gateway_platform_single_digit_years(self):
+        years = mean_lifetime_years(gateway_platform())
+        assert 4.0 < years < 12.0
+
+    def test_non_networked_gateway_lasts_longer(self, rng):
+        networked = gateway_platform(networked=True).sample(rng, 4000).mean()
+        isolated = gateway_platform(networked=False).sample(rng, 4000).mean()
+        assert isolated > networked
+
+    def test_factory_kinds(self):
+        for kind in ("battery", "battery-premium", "harvesting", "harvesting-solar", "gateway"):
+            model = device_lifetime_model(kind)
+            assert model.mean() > units.years(1.0)
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            device_lifetime_model("quantum")
+
+    def test_premium_battery_beats_standard(self):
+        std = mean_lifetime_years(device_lifetime_model("battery"))
+        premium = mean_lifetime_years(device_lifetime_model("battery-premium"))
+        assert premium > std

@@ -1,0 +1,151 @@
+"""Tests for repro.reliability.failure."""
+
+import numpy as np
+import pytest
+
+from repro.core import Entity, units
+from repro.reliability import (
+    Deterministic,
+    Exponential,
+    FailureProcess,
+    RenewalProcess,
+    sample_fleet_lifetimes,
+)
+
+
+class Node(Entity):
+    TIER = "device"
+
+
+class TestFailureProcess:
+    def test_entity_fails_at_sampled_time(self, sim):
+        node = Node(sim)
+        node.deploy()
+        process = FailureProcess(sim, node, Deterministic(value=100.0))
+        when = process.arm()
+        assert when == 100.0
+        sim.run_until(99.0)
+        assert node.alive
+        sim.run_until(101.0)
+        assert not node.alive
+
+    def test_disarm_prevents_failure(self, sim):
+        node = Node(sim)
+        node.deploy()
+        process = FailureProcess(sim, node, Deterministic(value=100.0))
+        process.arm()
+        process.disarm()
+        sim.run_until(200.0)
+        assert node.alive
+
+    def test_double_arm_rejected(self, sim):
+        node = Node(sim)
+        node.deploy()
+        process = FailureProcess(sim, node, Deterministic(value=100.0))
+        process.arm()
+        with pytest.raises(RuntimeError):
+            process.arm()
+
+    def test_failure_reason_recorded(self, sim):
+        node = Node(sim)
+        node.deploy()
+        FailureProcess(sim, node, Deterministic(value=10.0), reason="battery").arm()
+        sim.run_until(20.0)
+        fails = sim.records("fail")
+        assert fails[0].data["reason"] == "battery"
+
+    def test_retired_entity_failure_is_noop(self, sim):
+        node = Node(sim)
+        node.deploy()
+        FailureProcess(sim, node, Deterministic(value=10.0)).arm()
+        node.retire(reason="upgrade")
+        sim.run_until(20.0)
+        assert node.state.value == "retired"
+
+
+class TestRenewalProcess:
+    def _renewal(self, sim, lifetime=100.0, delay=10.0):
+        node = Node(sim)
+        node.deploy()
+        renewal = RenewalProcess(
+            sim,
+            node,
+            Deterministic(value=lifetime),
+            entity_factory=lambda: Node(sim),
+            logistics_delay=delay,
+            labor_hours_per_swap=0.5,
+        )
+        renewal.start()
+        return renewal
+
+    def test_replacement_after_delay(self, sim):
+        renewal = self._renewal(sim, lifetime=100.0, delay=10.0)
+        sim.run_until(105.0)
+        assert renewal.replacement_count == 0
+        sim.run_until(111.0)
+        assert renewal.replacement_count == 1
+        assert renewal.current.alive
+
+    def test_repeats_indefinitely(self, sim):
+        renewal = self._renewal(sim, lifetime=100.0, delay=0.0)
+        sim.run_until(350.0)
+        assert renewal.replacement_count == 3
+
+    def test_labor_accrues(self, sim):
+        renewal = self._renewal(sim, lifetime=100.0, delay=0.0)
+        sim.run_until(250.0)
+        assert renewal.total_labor_hours == pytest.approx(1.0)
+
+    def test_history_records_names_and_times(self, sim):
+        renewal = self._renewal(sim, lifetime=100.0, delay=10.0)
+        sim.run_until(120.0)
+        record = renewal.history[0]
+        assert record.failed_at == 100.0
+        assert record.replaced_at == 110.0
+
+    def test_stop_halts_replacement(self, sim):
+        renewal = self._renewal(sim, lifetime=100.0, delay=10.0)
+        renewal.stop()
+        sim.run_until(500.0)
+        assert renewal.replacement_count == 0
+
+    def test_stop_after_failure_before_replacement(self, sim):
+        renewal = self._renewal(sim, lifetime=100.0, delay=50.0)
+        sim.run_until(120.0)  # failed at 100, replacement pending at 150
+        renewal.stop()
+        sim.run_until(500.0)
+        assert renewal.replacement_count == 0
+
+    def test_negative_delay_rejected(self, sim):
+        node = Node(sim)
+        with pytest.raises(ValueError):
+            RenewalProcess(
+                sim, node, Deterministic(1.0), lambda: Node(sim), logistics_delay=-1.0
+            )
+
+    def test_stochastic_renewal_rate(self, sim):
+        # Exponential(1yr) lifetimes, instant replacement: expect ~N
+        # replacements in N years (renewal theory), loosely.
+        node = Node(sim)
+        node.deploy()
+        renewal = RenewalProcess(
+            sim,
+            node,
+            Exponential(scale=units.years(1.0)),
+            entity_factory=lambda: Node(sim),
+            logistics_delay=0.0,
+        )
+        renewal.start()
+        sim.run_until(units.years(30.0))
+        assert 15 <= renewal.replacement_count <= 50
+
+
+class TestSampleFleetLifetimes:
+    def test_shape_and_positivity(self, rng):
+        draws = sample_fleet_lifetimes(Exponential(scale=5.0), 100, rng)
+        assert draws.shape == (100,)
+        assert (draws > 0).all()
+
+    def test_zero_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_fleet_lifetimes(Exponential(scale=5.0), 0, rng)

@@ -1,0 +1,100 @@
+"""Tests for repro.reliability.maintenance."""
+
+import pytest
+
+from repro.core import units
+from repro.reliability import (
+    AttentionBudget,
+    MaintenanceLedger,
+    fleet_replacement_hours,
+)
+
+
+class TestFleetReplacementHours:
+    def test_paper_la_arithmetic(self):
+        # 320k poles + 61,315 intersections + 210k streetlights at 20 min
+        # each: "nearly 200,000 person-hours" (§1).
+        hours = fleet_replacement_hours(320_000 + 61_315 + 210_000)
+        assert 190_000 < hours < 200_000
+        assert hours == pytest.approx(197_105.0)
+
+    def test_scaling_linear(self):
+        assert fleet_replacement_hours(600) == 2.0 * fleet_replacement_hours(300)
+
+    def test_custom_minutes(self):
+        assert fleet_replacement_hours(60, minutes_per_device=60.0) == 60.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fleet_replacement_hours(-1)
+        with pytest.raises(ValueError):
+            fleet_replacement_hours(1, minutes_per_device=0.0)
+
+
+class TestMaintenanceLedger:
+    def _ledger(self):
+        ledger = MaintenanceLedger()
+        ledger.log(units.years(1.0), "gateway", "gw-1", "replace", 2.0, 900.0)
+        ledger.log(units.years(2.0), "gateway", "gw-2", "repair", 1.0, 100.0)
+        ledger.log(units.years(3.0), "backhaul", "fiber-1", "inspect", 0.5, 0.0)
+        return ledger
+
+    def test_totals(self):
+        ledger = self._ledger()
+        assert ledger.total_hours() == 3.5
+        assert ledger.total_cost() == 1000.0
+
+    def test_tier_filter(self):
+        ledger = self._ledger()
+        assert ledger.total_hours(tier="gateway") == 3.0
+        assert ledger.total_cost(tier="backhaul") == 0.0
+
+    def test_count_filters(self):
+        ledger = self._ledger()
+        assert ledger.count() == 3
+        assert ledger.count(tier="gateway") == 2
+        assert ledger.count(action="replace") == 1
+
+    def test_by_tier(self):
+        assert self._ledger().by_tier() == {"gateway": 3.0, "backhaul": 0.5}
+
+    def test_hours_per_year(self):
+        assert self._ledger().hours_per_year(units.years(7.0)) == pytest.approx(0.5)
+
+    def test_device_touches_zero(self):
+        # The experiment's constraint: no device-tier interventions.
+        assert self._ledger().device_touches() == 0
+
+    def test_negative_hours_rejected(self):
+        with pytest.raises(ValueError):
+            MaintenanceLedger().log(0.0, "device", "d", "replace", -1.0)
+
+
+class TestAttentionBudget:
+    def test_annual_supply(self):
+        assert AttentionBudget(staff=2).annual_supply() == 3600.0
+
+    def test_sustainable_fleet_scales_with_mtbf(self):
+        budget = AttentionBudget(staff=2)
+        short = budget.sustainable_fleet(device_mtbf_years=5.0)
+        long = budget.sustainable_fleet(device_mtbf_years=50.0)
+        assert long == 10 * short
+
+    def test_paper_scale_requires_long_mtbf(self):
+        # LA: ~591k devices.  A 10-person crew can only sustain that
+        # fleet if device MTBF reaches decades.
+        budget = AttentionBudget(staff=10)
+        assert budget.sustainable_fleet(device_mtbf_years=5.0) < 591_315
+        assert budget.sustainable_fleet(device_mtbf_years=15.0) > 591_315
+
+    def test_hours_per_device_falls_with_scale(self):
+        # §3.1: "as the number of devices grows, the available hours per
+        # device falls."
+        budget = AttentionBudget(staff=5)
+        assert budget.hours_per_device(10_000) < budget.hours_per_device(1_000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            AttentionBudget(staff=1).sustainable_fleet(device_mtbf_years=0.0)
+        with pytest.raises(ValueError):
+            AttentionBudget(staff=1).hours_per_device(0)

@@ -1,0 +1,98 @@
+"""Tests for repro.reliability.survival."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    kaplan_meier,
+    piecewise_hazard,
+    restricted_mean_survival,
+)
+
+
+class TestKaplanMeier:
+    def test_no_censoring_is_empirical_survival(self):
+        curve = kaplan_meier([1.0, 2.0, 3.0, 4.0])
+        assert curve.at(0.5) == 1.0
+        assert curve.at(1.0) == pytest.approx(0.75)
+        assert curve.at(2.5) == pytest.approx(0.5)
+        assert curve.at(4.0) == pytest.approx(0.0)
+
+    def test_censoring_inflates_survival(self):
+        all_fail = kaplan_meier([1.0, 2.0, 3.0], [True, True, True])
+        censored = kaplan_meier([1.0, 2.0, 3.0], [True, True, False])
+        assert censored.at(3.0) > all_fail.at(3.0)
+
+    def test_textbook_example(self):
+        # Failures at 1 and 2, censored at 3: S(2) = (1-1/3)(1-1/2) = 1/3.
+        curve = kaplan_meier([1.0, 2.0, 3.0], [True, True, False])
+        assert curve.at(2.0) == pytest.approx(1.0 / 3.0)
+
+    def test_tied_failures(self):
+        curve = kaplan_meier([2.0, 2.0, 4.0])
+        assert curve.at(2.0) == pytest.approx(1.0 / 3.0)
+
+    def test_median(self):
+        curve = kaplan_meier([1.0, 2.0, 3.0, 4.0])
+        assert curve.median() == 2.0
+
+    def test_median_none_when_mostly_censored(self):
+        curve = kaplan_meier([1.0, 5.0, 5.0, 5.0], [True, False, False, False])
+        assert curve.median() is None
+
+    def test_quantile(self):
+        curve = kaplan_meier([1.0, 2.0, 3.0, 4.0])
+        assert curve.quantile(0.25) == 1.0
+        with pytest.raises(ValueError):
+            curve.quantile(1.5)
+
+    def test_at_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([1.0]).at(-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([])
+
+    def test_mismatched_observed_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([1.0, 2.0], [True])
+
+    def test_recovers_exponential_survival(self, rng):
+        draws = rng.exponential(10.0, size=5000)
+        curve = kaplan_meier(draws)
+        assert curve.at(10.0) == pytest.approx(np.exp(-1.0), abs=0.03)
+
+
+class TestRestrictedMean:
+    def test_all_survive_window(self):
+        curve = kaplan_meier([100.0, 100.0], [False, False])
+        assert restricted_mean_survival(curve, 10.0) == pytest.approx(10.0)
+
+    def test_deterministic_failures(self):
+        # Both fail at t=5; RMS over 10 is 5.
+        curve = kaplan_meier([5.0, 5.0])
+        assert restricted_mean_survival(curve, 10.0) == pytest.approx(5.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            restricted_mean_survival(kaplan_meier([1.0]), 0.0)
+
+
+class TestPiecewiseHazard:
+    def test_constant_hazard_recovered(self, rng):
+        draws = rng.exponential(10.0, size=20000)
+        edges, hazards = piecewise_hazard(
+            draws, np.ones(len(draws), dtype=bool), [0.0, 5.0, 10.0, 20.0]
+        )
+        assert hazards == pytest.approx([0.1, 0.1, 0.1], rel=0.1)
+
+    def test_empty_bin_zero(self):
+        edges, hazards = piecewise_hazard([1.0], [True], [0.0, 2.0, 4.0])
+        assert hazards[1] == 0.0
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            piecewise_hazard([1.0], [True], [0.0])
+        with pytest.raises(ValueError):
+            piecewise_hazard([1.0], [True], [0.0, 0.0])

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "owned-only"])
+        assert args.scenario == "owned-only"
+        assert args.years == 10.0
+        assert args.seed == 2021
+
+
+class TestCommands:
+    def test_scenarios_lists_catalog(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "as-designed" in out
+        assert "staff-turnover" in out
+
+    def test_la(self, capsys):
+        assert main(["la"]) == 0
+        out = capsys.readouterr().out
+        assert "591,315" in out
+        assert "197,105" in out
+
+    def test_la_custom_minutes(self, capsys):
+        assert main(["la", "--minutes", "60"]) == 0
+        assert "591,315 person-hours" in capsys.readouterr().out
+
+    def test_quote(self, capsys):
+        assert main(["quote"]) == 0
+        out = capsys.readouterr().out
+        assert "438,000" in out
+        assert "$5.00" in out
+
+    def test_quote_faster_schedule(self, capsys):
+        assert main(["quote", "--per-hour", "6"]) == 0
+        assert "2,628,000" in capsys.readouterr().out
+
+    def test_tco(self, capsys):
+        assert main(["tco", "--gateways", "50", "--horizon", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+        assert "fiber" in out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "802.15.4" in out
+        assert "lora-sf12" in out
+
+    def test_run_short_scenario(self, capsys):
+        code = main(
+            ["run", "owned-only", "--years", "1", "--report-days", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall weekly uptime" in out
+
+    def test_run_with_diary(self, capsys):
+        code = main(
+            ["run", "owned-only", "--years", "1", "--report-days", "7", "--diary"]
+        )
+        assert code == 0
+        assert "experiment commenced" in capsys.readouterr().out
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["run", "moonbase", "--years", "1"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path / "figs"), "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "e05_tco.csv" in out
+        assert (tmp_path / "figs" / "e15_channel.csv").exists()

@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import concentration, interval_coverage, zipf_mandelbrot_weights
+from repro.core import Cohort, FleetTimeline, units
+from repro.core.events import EventQueue
+from repro.core.rng import RandomStreams
+from repro.energy import Capacitor
+from repro.net.helium import DataCreditWallet
+from repro.radio import Packet
+from repro.radio.link import PathLossModel, RadioSpec, packet_success_probability
+from repro.radio.lora import LoRaParameters
+from repro.reliability import Exponential, LogNormal, Weibull, kaplan_meier
+
+finite_times = st.floats(
+    min_value=0.0, max_value=1e10, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEventQueueProperties:
+    @given(st.lists(finite_times, min_size=1, max_size=60))
+    def test_pop_order_is_nondecreasing(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while not q.empty():
+            popped.append(q.pop().time)
+        assert popped == sorted(popped)
+        assert sorted(popped) == sorted(times)
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_streams_reproducible(self, seed, name):
+        a = RandomStreams(seed=seed).get(name).random()
+        b = RandomStreams(seed=seed).get(name).random()
+        assert a == b
+
+
+class TestDistributionProperties:
+    @given(
+        st.floats(min_value=0.2, max_value=8.0),
+        st.floats(min_value=1.0, max_value=1e9),
+        st.floats(min_value=0.0, max_value=1e9),
+    )
+    @settings(max_examples=60)
+    def test_weibull_survival_in_unit_interval_and_monotone(self, shape, scale, t):
+        d = Weibull(shape=shape, scale=scale)
+        s = d.survival(t)
+        assert 0.0 <= s <= 1.0
+        assert d.survival(t + scale) <= s
+
+    @given(st.floats(min_value=1.0, max_value=1e9), st.floats(min_value=0.0, max_value=1e9))
+    @settings(max_examples=60)
+    def test_exponential_memoryless(self, scale, t):
+        d = Exponential(scale=scale)
+        # S(t + s) = S(t) S(s)
+        s = scale / 3.0
+        assert d.survival(t + s) == pytest_approx(d.survival(t) * d.survival(s))
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=40)
+    def test_lognormal_median_invariant(self, median, sigma):
+        d = LogNormal(median=median, sigma=sigma)
+        assert abs(d.survival(median) - 0.5) < 1e-9
+
+
+def pytest_approx(x, rel=1e-9):
+    import pytest
+
+    return pytest.approx(x, rel=rel, abs=1e-12)
+
+
+class TestKaplanMeierProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=50)
+    def test_curve_monotone_nonincreasing_within_unit(self, durations):
+        curve = kaplan_meier(durations)
+        values = list(curve.survival)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2, max_size=50),
+        st.lists(st.booleans(), min_size=2, max_size=50),
+    )
+    @settings(max_examples=50)
+    def test_censoring_never_lowers_survival(self, durations, flags):
+        n = min(len(durations), len(flags))
+        durations = durations[:n]
+        flags = flags[:n]
+        censored = kaplan_meier(durations, flags)
+        uncensored = kaplan_meier(durations)
+        for t in durations:
+            assert censored.at(t) >= uncensored.at(t) - 1e-12
+
+
+class TestCohortProperties:
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e8), min_size=1, max_size=60),
+        st.floats(min_value=0.0, max_value=1e8),
+    )
+    @settings(max_examples=50)
+    def test_alive_count_bounded_and_monotone_in_time(self, lifetimes, t):
+        cohort = Cohort(deployed_at=0.0, lifetimes=tuple(lifetimes))
+        alive_now = cohort.alive_at(t)
+        assert 0 <= alive_now <= cohort.size
+        assert cohort.alive_at(t + 1e8) <= alive_now
+
+
+class TestCapacitorProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(min_value=0.0, max_value=5.0)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_stored_energy_always_within_bounds(self, operations):
+        cap = Capacitor(capacity_j=3.0)
+        for is_charge, amount in operations:
+            if is_charge:
+                cap.charge(amount)
+            else:
+                cap.discharge(amount)
+            assert 0.0 <= cap.stored_j <= cap.capacity_j + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1e7))
+    @settings(max_examples=30)
+    def test_leak_never_increases(self, dt):
+        cap = Capacitor(capacity_j=1.0, stored_j=1.0, leakage_per_day=0.05)
+        cap.leak(dt)
+        assert cap.stored_j <= 1.0
+
+
+class TestWalletProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=100), max_size=60))
+    @settings(max_examples=50)
+    def test_conservation(self, debits):
+        wallet = DataCreditWallet()
+        wallet.provision(1000)
+        for amount in debits:
+            wallet.debit(amount)
+        assert wallet.balance + wallet.spent == 1000
+        assert wallet.balance >= 0
+
+
+class TestPacketProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_credit_units_ceiling_rule(self, payload):
+        packet = Packet("d", 0.0, payload_bytes=payload)
+        assert packet.credit_units >= 1
+        assert (packet.credit_units - 1) * 24 < max(payload, 1) <= packet.credit_units * 24
+
+
+class TestLinkProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=50_000.0),
+        st.floats(min_value=2.0, max_value=4.0),
+    )
+    @settings(max_examples=50)
+    def test_success_decreases_with_distance(self, distance, exponent):
+        spec = RadioSpec("x", 915e6, 14.0, -120.0, 1000.0)
+        model = PathLossModel(exponent=exponent, shadowing_sigma_db=0.0)
+        near = packet_success_probability(
+            spec, spec.tx_power_dbm - model.mean_loss_db(distance, spec.frequency_hz)
+        )
+        far = packet_success_probability(
+            spec,
+            spec.tx_power_dbm - model.mean_loss_db(distance * 2.0, spec.frequency_hz),
+        )
+        assert far <= near
+
+
+class TestLoRaProperties:
+    @given(st.integers(min_value=7, max_value=12), st.integers(min_value=0, max_value=51))
+    @settings(max_examples=60)
+    def test_airtime_positive_and_sf_monotone(self, sf, payload):
+        p = LoRaParameters(spreading_factor=sf)
+        airtime = p.airtime_s(payload)
+        assert airtime > 0.0
+        if sf < 12:
+            worse = LoRaParameters(spreading_factor=sf + 1)
+            assert worse.airtime_s(payload) > airtime
+
+
+class TestCoverageProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=99.0), max_size=60),
+    )
+    @settings(max_examples=50)
+    def test_coverage_in_unit_interval(self, arrivals):
+        coverage = interval_coverage(arrivals, 0.0, 100.0, interval=10.0)
+        assert 0.0 <= coverage <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_more_arrivals_never_lower_coverage(self, arrivals):
+        base = interval_coverage(arrivals, 0.0, 100.0, interval=10.0)
+        more = interval_coverage(arrivals + [50.0], 0.0, 100.0, interval=10.0)
+        assert more >= base
+
+
+class TestZipfProperties:
+    @given(
+        st.integers(min_value=5, max_value=300),
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50)
+    def test_weights_simplex_and_sorted(self, n, exponent, offset):
+        weights = zipf_mandelbrot_weights(n, exponent, offset)
+        assert abs(weights.sum() - 1.0) < 1e-9
+        assert (np.diff(weights) <= 1e-15).all()
+
+
+class TestConcentrationProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_report_invariants(self, assignments):
+        report = concentration(assignments)
+        assert report.total_nodes == len(assignments)
+        eps = 1e-9
+        assert 0.0 < report.top10_share <= 1.0 + eps
+        assert report.top1_share <= report.top10_share + eps
+        assert 1.0 / report.unique_ases - eps <= report.hhi <= 1.0 + eps

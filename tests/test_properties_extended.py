@@ -1,0 +1,161 @@
+"""Property-based tests for the extension modules: channel contention,
+trust, sharing economics, lifecycle costs, and succession."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.econ import (
+    CostParameters,
+    DeviceStrategy,
+    compare_sharing,
+    coverage_fraction,
+    gateways_for_coverage,
+    strategy_cost,
+)
+from repro.experiment import SuccessionConfig, SuccessionModel
+from repro.net.trust import TrustLevel, TrustPolicy, TrustRegistry
+from repro.radio.channel import ChannelLoad, max_devices_for_reliability
+
+
+class TestChannelProperties:
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.floats(min_value=1e-4, max_value=2.0),
+        st.floats(min_value=60.0, max_value=1e6),
+    )
+    @settings(max_examples=60)
+    def test_delivery_probability_in_unit_interval(self, devices, airtime, interval):
+        p = ChannelLoad(devices, airtime, interval).delivery_probability()
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=1e-4, max_value=2.0),
+        st.floats(min_value=60.0, max_value=1e6),
+    )
+    @settings(max_examples=60)
+    def test_more_devices_never_help(self, devices, airtime, interval):
+        fewer = ChannelLoad(devices, airtime, interval).delivery_probability()
+        more = ChannelLoad(devices * 2, airtime, interval).delivery_probability()
+        assert more <= fewer
+
+    @given(
+        st.floats(min_value=1e-4, max_value=2.0),
+        st.floats(min_value=60.0, max_value=1e6),
+        st.floats(min_value=0.5, max_value=0.99),
+    )
+    @settings(max_examples=60)
+    def test_capacity_meets_its_own_target(self, airtime, interval, target):
+        n = max_devices_for_reliability(airtime, interval, target)
+        if n > 0:
+            p = ChannelLoad(n, airtime, interval).delivery_probability()
+            assert p >= target - 1e-6
+
+
+class TestTrustProperties:
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_census_partitions_fleet(self, n, year):
+        registry = TrustRegistry(
+            policy=TrustPolicy(key_leak_rate_per_year=0.01),
+            rng=np.random.default_rng(7),
+        )
+        for index in range(n):
+            registry.commission(f"d{index}", "ed25519")
+        census = registry.census(units.years(float(year)))
+        assert sum(census.values()) == n
+        assert all(count >= 0 for count in census.values())
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_trusted_fraction_never_recovers(self, n):
+        # Trust is monotone non-increasing: immutable devices cannot be
+        # re-keyed, so verdicts only ever get worse.
+        registry = TrustRegistry(
+            policy=TrustPolicy(key_leak_rate_per_year=0.01),
+            rng=np.random.default_rng(11),
+        )
+        for index in range(n):
+            registry.commission(f"d{index}", "aes128-cmac")
+        fractions = [
+            registry.trusted_fraction(units.years(float(y)))
+            for y in range(0, 60, 5)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+
+class TestSharingProperties:
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=50.0, max_value=2000.0),
+    )
+    @settings(max_examples=60)
+    def test_coverage_in_unit_interval(self, gateways, area, radius):
+        c = coverage_fraction(gateways, area, radius)
+        assert 0.0 <= c < 1.0 or c == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.99),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=50.0, max_value=2000.0),
+    )
+    @settings(max_examples=60)
+    def test_inverse_is_tight(self, target, area, radius):
+        n = gateways_for_coverage(target, area, radius)
+        assert coverage_fraction(n, area, radius) >= target - 1e-9
+        if n > 1:
+            assert coverage_fraction(n - 1, area, radius) < target
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30)
+    def test_sharing_saving_formula(self, vendors):
+        result = compare_sharing(vendors=vendors)
+        assert result.hardware_saving == pytest.approx(1.0 - 1.0 / vendors)
+
+
+class TestLifecycleProperties:
+    @given(
+        st.floats(min_value=10.0, max_value=2000.0),
+        st.floats(min_value=1.0, max_value=60.0),
+        st.floats(min_value=5.0, max_value=100.0),
+    )
+    @settings(max_examples=60)
+    def test_cost_positive_and_replacements_consistent(self, unit, life, horizon):
+        strategy = DeviceStrategy("x", unit, life)
+        cost = strategy_cost(strategy, horizon)
+        assert cost.total_usd > 0.0
+        assert cost.expected_replacements == pytest.approx(
+            max(0.0, horizon / life - 1.0)
+        )
+
+    @given(
+        st.floats(min_value=10.0, max_value=2000.0),
+        st.floats(min_value=1.0, max_value=20.0),
+    )
+    @settings(max_examples=40)
+    def test_longer_life_never_costs_more(self, unit, life):
+        short = strategy_cost(DeviceStrategy("s", unit, life), 50.0)
+        long = strategy_cost(DeviceStrategy("l", unit, life * 2.0), 50.0)
+        assert long.total_usd <= short.total_usd + 1e-9
+
+
+class TestSuccessionProperties:
+    @given(st.integers(min_value=1, max_value=80), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_timeline_contiguous_and_knowledge_monotone(self, years, seed):
+        model = SuccessionModel(config=SuccessionConfig(handoff_retention=0.8))
+        rng = np.random.default_rng(seed)
+        custodians = model.generate(units.years(float(years)), rng)
+        assert custodians[0].starts_at == 0.0
+        assert custodians[-1].ends_at == units.years(float(years))
+        for a, b in zip(custodians, custodians[1:]):
+            assert a.ends_at == b.starts_at
+        samples = [
+            model.knowledge_at(units.years(float(y)))
+            for y in range(0, years + 1, max(1, years // 8))
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(samples, samples[1:]))
