@@ -10,29 +10,38 @@ maintenance bill under our substrate models.
 
 from repro.analysis.report import PaperComparison
 from repro.core import units
-from repro.experiment import FiftyYearConfig, FiftyYearExperiment
+from repro.runtime import MonteCarloRunner, ScenarioTask
 
 from conftest import emit
 
+# Daily reporting keeps the event count tractable; the weekly metric
+# cannot tell daily from hourly cadence.
+TASK = ScenarioTask(
+    scenario="as-designed",
+    horizon=units.years(50.0),
+    report_interval=units.days(1.0),
+    overrides=(
+        ("seed", 2021),
+        ("n_154_devices", 5),
+        ("n_lora_devices", 5),
+        ("n_owned_gateways", 3),
+        ("initial_hotspots", 30),
+        ("wallet_credits", 500_000 * 5),
+        ("renewal_miss_probability", 0.1),
+    ),
+    keep_result=True,
+)
+
 
 def run_full_experiment():
-    # Daily reporting keeps the event count tractable; the weekly metric
-    # cannot tell daily from hourly cadence.
-    config = FiftyYearConfig(
-        seed=2021,
-        report_interval=units.days(1.0),
-        n_154_devices=5,
-        n_lora_devices=5,
-        n_owned_gateways=3,
-        initial_hotspots=30,
-        wallet_credits=500_000 * 5,
-        renewal_miss_probability=0.1,
-    )
-    return FiftyYearExperiment(config).run()
+    study = MonteCarloRunner(TASK, runs=1, base_seed=2021).run()
+    return study
 
 
 def test_e09_fifty_year_experiment(benchmark):
-    result = benchmark.pedantic(run_full_experiment, rounds=1, iterations=1)
+    study = benchmark.pedantic(run_full_experiment, rounds=1, iterations=1)
+    run = study.runs[0]
+    result = run.detail
     owned = result.arms["owned-802.15.4"]
     helium = result.arms["helium-lora"]
     holds = (
@@ -64,6 +73,8 @@ def test_e09_fifty_year_experiment(benchmark):
         f"{result.gateway_replacements} gateway replacements",
         f"wallet: {result.wallet.spent:,} credits spent, "
         f"{result.wallet.refusals} refusals",
+        f"runtime: {run.events_executed:,} events in {run.wall_clock_s:.1f} s, "
+        f"peak pending queue {run.peak_pending_events:,}",
     ])
     assert holds
     # The §4 constraint: devices are never touched.

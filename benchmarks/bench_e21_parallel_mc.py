@@ -1,0 +1,90 @@
+"""E21 — the deterministic parallel Monte-Carlo runtime.
+
+E20's projection is a many-seed study; the ROADMAP's north star wants it
+to run "as fast as the hardware allows".  This bench runs the same
+10-seed as-designed study three ways — the old-style explicit serial
+loop, ``MonteCarloRunner(workers=1)``, and ``MonteCarloRunner`` with a
+worker pool — and checks the two properties the runtime promises:
+
+1. **Bit-identical statistics** at any worker count (seeds are fixed via
+   the fork lineage before any work is dispatched).
+2. **Speedup** on multi-core hardware: ≥2x over the serial loop with 4
+   workers.  The speedup assertion only arms when the machine actually
+   has ≥4 CPUs; the determinism assertions always run.
+"""
+
+import dataclasses
+import os
+import time
+from dataclasses import replace
+
+from repro.core import units
+from repro.experiment import SCENARIOS, FiftyYearExperiment
+from repro.runtime import MonteCarloRunner, ScenarioTask, derive_seeds
+
+from conftest import emit
+
+RUNS = 10
+HORIZON = units.years(10.0)
+CADENCE = units.days(2.0)
+SCENARIO = "as-designed"
+BASE_SEED = 100
+POOL_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def serial_loop_samples():
+    """The pre-runtime idiom: a bare Python loop over seeds."""
+    samples = []
+    for seed in derive_seeds(BASE_SEED, RUNS):
+        config = SCENARIOS[SCENARIO](seed)
+        config = replace(config, horizon=HORIZON, report_interval=CADENCE)
+        samples.append(FiftyYearExperiment(config).run().overall.uptime)
+    return samples
+
+
+def compute_all():
+    task = ScenarioTask(
+        scenario=SCENARIO, horizon=HORIZON, report_interval=CADENCE
+    )
+
+    started = time.perf_counter()
+    loop_samples = serial_loop_samples()
+    loop_s = time.perf_counter() - started
+
+    serial_study = MonteCarloRunner(
+        task, runs=RUNS, base_seed=BASE_SEED, workers=1
+    ).run()
+    pooled_study = MonteCarloRunner(
+        task, runs=RUNS, base_seed=BASE_SEED, workers=POOL_WORKERS
+    ).run()
+    return loop_samples, loop_s, serial_study, pooled_study
+
+
+def test_e21_parallel_monte_carlo(benchmark):
+    loop_samples, loop_s, serial, pooled = benchmark.pedantic(
+        compute_all, rounds=1, iterations=1
+    )
+    speedup = loop_s / pooled.wall_clock_s if pooled.wall_clock_s > 0 else 0.0
+    emit([
+        f"serial loop          : {loop_s:7.2f} s for {RUNS} seeds",
+        f"runner, 1 worker     : {serial.wall_clock_s:7.2f} s",
+        f"runner, {pooled.workers} worker(s)  : {pooled.wall_clock_s:7.2f} s "
+        f"({speedup:.2f}x vs serial loop)",
+        f"aggregate uptime     : mean {pooled.uptime.mean:.4f}, "
+        f"worst {pooled.uptime.worst:.4f} — identical at every worker count",
+        f"study volume         : {pooled.total_events:,} events, "
+        f"peak pending queue {pooled.peak_pending_events:,}",
+    ])
+
+    # Determinism: the runner reproduces the serial loop bit for bit,
+    # and the worker pool reproduces the single-worker runner bit for
+    # bit — same seeds, same samples, same aggregate.
+    assert [r.sample for r in serial.runs] == loop_samples
+    assert [r.sample for r in pooled.runs] == loop_samples
+    assert dataclasses.asdict(serial.uptime) == dataclasses.asdict(pooled.uptime)
+
+    # Throughput: on a multi-core machine the pool must at least halve
+    # the serial wall-clock.  (Single-core machines can only verify
+    # determinism — there is no parallel hardware to demonstrate on.)
+    if POOL_WORKERS >= 4 and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"expected >=2x speedup, got {speedup:.2f}x"

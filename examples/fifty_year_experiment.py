@@ -7,18 +7,23 @@ backhaul, a churning third-party LoRa hotspot population paid from a
 prepaid data-credit wallet, and a public endpoint evaluated on the
 weekly-uptime metric — then prints the §4.5 "living diary".
 
-Run:  python examples/fifty_year_experiment.py [horizon-years]
+With ``runs > 1`` the single run becomes a Monte-Carlo study on
+``repro.runtime``: independent seeds derived through the RNG fork
+lineage, fanned across worker processes, aggregated into the uptime
+distribution.  The statistics are identical at any worker count.
+
+Run:  python examples/fifty_year_experiment.py [horizon-years] [runs] [workers]
 """
 
+import os
 import sys
-from dataclasses import replace
 
 from repro.core import units
 from repro.experiment import FiftyYearConfig, FiftyYearExperiment
+from repro.runtime import MonteCarloRunner, ScenarioTask
 
 
-def main() -> None:
-    horizon_years = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+def single_run(horizon_years: float) -> None:
     config = FiftyYearConfig(
         seed=2021,
         horizon=units.years(horizon_years),
@@ -43,6 +48,45 @@ def main() -> None:
 
     print()
     print(result.diary.render())
+
+
+def monte_carlo_study(horizon_years: float, runs: int, workers: int) -> None:
+    print(
+        f"Monte-Carlo study: {runs} seeds x {horizon_years:.0f} years "
+        f"on {workers} worker(s)..."
+    )
+    task = ScenarioTask(
+        scenario="as-designed",
+        horizon=units.years(horizon_years),
+        report_interval=units.days(1.0),
+    )
+    study = MonteCarloRunner(
+        task, runs=runs, base_seed=2021, workers=workers
+    ).run()
+
+    print()
+    print("=" * 64)
+    print("UPTIME DISTRIBUTION ACROSS SEEDS")
+    print("=" * 64)
+    for line in study.summary_lines():
+        print("  " + line)
+    print()
+    print(f"  {'run':>4} {'uptime':>8} {'events':>10} {'peak-q':>7} {'secs':>7}")
+    for run in study.runs:
+        print(
+            f"  {run.index:>4} {run.sample:>8.4f} {run.events_executed:>10,} "
+            f"{run.peak_pending_events:>7,} {run.wall_clock_s:>7.2f}"
+        )
+
+
+def main() -> None:
+    horizon_years = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+    runs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else (os.cpu_count() or 1)
+    if runs > 1:
+        monte_carlo_study(horizon_years, runs, workers)
+    else:
+        single_run(horizon_years)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ Subpackages
 ``city``          asset inventories, rollouts, Seoul workload
 ``analysis``      AS concentration, uptime, metrics, diary
 ``experiment``    the §4 fifty-year experiment and scenarios
+``runtime``       deterministic parallel Monte-Carlo execution
 """
 
 __version__ = "1.0.0"
@@ -44,6 +45,7 @@ from . import (
     obsolescence,
     radio,
     reliability,
+    runtime,
 )
 
 __all__ = [
@@ -57,5 +59,6 @@ __all__ = [
     "obsolescence",
     "radio",
     "reliability",
+    "runtime",
     "__version__",
 ]

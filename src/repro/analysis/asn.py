@@ -11,7 +11,7 @@ quotes so the synthetic population can be validated against it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -88,8 +88,8 @@ def calibrate_exponent(
 def synthesize_assignments(
     n_nodes: int = PAPER_GATEWAY_COUNT,
     n_ases: int = PAPER_UNIQUE_ASES,
-    rng: np.random.Generator = None,
-    exponent: float = None,
+    rng: Optional[np.random.Generator] = None,
+    exponent: Optional[float] = None,
     offset: float = 2.0,
 ) -> List[int]:
     """Draw an ASN per node matching the paper's concentration.

@@ -9,7 +9,7 @@ aggregation across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -67,7 +67,7 @@ def entity_availability(sim: Simulation, name: str, start: float, end: float) ->
     if end <= start:
         raise ValueError("end must exceed start")
     up_spans: List[tuple] = []
-    current_up: float = None
+    current_up: Optional[float] = None
     for record in sim.log:
         if record.message != name:
             continue

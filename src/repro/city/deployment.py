@@ -11,7 +11,7 @@ inventory into the staggered cohort schedule that
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -63,7 +63,7 @@ class RolloutPlan:
         lifetime_sampler: Callable[[int], np.ndarray],
         horizon: float,
         coverage_floor: float = 0.5,
-        stop_replacing_after: float = None,
+        stop_replacing_after: Optional[float] = None,
     ) -> FleetTimeline:
         """Materialize the staggered cohort timeline for this plan."""
         return pipelined_fleet(

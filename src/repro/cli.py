@@ -4,6 +4,7 @@ Exposes the most-used entry points without writing Python::
 
     python -m repro scenarios                 # list canned scenarios
     python -m repro run as-designed --years 10 --seed 7
+    python -m repro mc as-designed --runs 10 --workers 4
     python -m repro quote --years 50 --per-hour 1
     python -m repro tco --gateways 100 --horizon 50
     python -m repro la                        # the §1 labor arithmetic
@@ -61,6 +62,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.diary:
         print()
         print(result.diary.render())
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    import os
+
+    from .experiment import SCENARIOS
+    from .runtime import MonteCarloRunner, ScenarioTask
+
+    if args.scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; options: {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("--workers must be >= 0 (0 = one per CPU)", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    task = ScenarioTask(
+        scenario=args.scenario,
+        horizon=units.years(args.years),
+        report_interval=units.days(args.report_days),
+    )
+    study = MonteCarloRunner(
+        task, runs=args.runs, base_seed=args.base_seed, workers=workers
+    ).run()
+    for line in study.summary_lines():
+        print(line)
+    if args.per_run:
+        print(f"{'run':>4} {'uptime':>8} {'events':>10} {'peak-q':>7} {'secs':>7}")
+        for run in study.runs:
+            print(
+                f"{run.index:>4} {run.sample:>8.4f} {run.events_executed:>10,} "
+                f"{run.peak_pending_events:>7,} {run.wall_clock_s:>7.2f}"
+            )
     return 0
 
 
@@ -156,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="device reporting cadence in days")
     run.add_argument("--diary", action="store_true", help="print the diary")
 
+    mc = sub.add_parser(
+        "mc", help="parallel Monte-Carlo uptime study over independent seeds"
+    )
+    mc.add_argument("scenario")
+    mc.add_argument("--runs", type=int, default=10)
+    mc.add_argument("--years", type=float, default=25.0)
+    mc.add_argument("--base-seed", type=int, default=100)
+    mc.add_argument("--workers", type=int, default=0,
+                    help="worker processes; 0 = one per CPU (default)")
+    mc.add_argument("--report-days", type=float, default=2.0,
+                    help="device reporting cadence in days")
+    mc.add_argument("--per-run", action="store_true",
+                    help="print the per-run observability table")
+
     quote = sub.add_parser("quote", help="prepaid data-credit quote (§4.4)")
     quote.add_argument("--years", type=float, default=50.0)
     quote.add_argument("--per-hour", type=float, default=1.0)
@@ -185,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
 COMMANDS = {
     "scenarios": _cmd_scenarios,
     "run": _cmd_run,
+    "mc": _cmd_mc,
     "quote": _cmd_quote,
     "tco": _cmd_tco,
     "la": _cmd_la,

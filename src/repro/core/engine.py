@@ -7,7 +7,9 @@ are expressed as self-rescheduling callbacks or via :meth:`every`.
 
 The engine is deliberately synchronous and single-threaded: century
 horizons are covered by the sparsity of events (a sensor transmitting
-hourly for 50 years is ~438k events), not by parallelism.
+hourly for 50 years is ~438k events), not by parallelism.  Parallelism
+lives one layer up: :mod:`repro.runtime` fans independent runs (one
+engine per seed) across worker processes.
 """
 
 from __future__ import annotations
@@ -161,6 +163,11 @@ class Simulation:
     def executed_events(self) -> int:
         """Total number of events executed so far."""
         return self._executed
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the future event list over the run."""
+        return self.events.peak_live
 
     # ------------------------------------------------------------------
     # Observation

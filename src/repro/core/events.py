@@ -23,7 +23,9 @@ class Event:
 
     Events sort by ``(time, priority, sequence)``.  Lower priority values
     run first among same-time events.  Cancelled events stay in the heap
-    but are skipped on pop (lazy deletion).
+    but are skipped on pop (lazy deletion).  ``popped`` records that the
+    owning queue already handed the event out, so a late cancel cannot
+    corrupt the queue's live-event accounting.
     """
 
     time: float
@@ -32,10 +34,23 @@ class Event:
     callback: EventCallback = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    popped: bool = field(compare=False, default=False)
+    _queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark this event so the engine skips it when popped."""
+        """Mark this event so the engine skips it when popped.
+
+        Idempotent, and safe after the event has already executed: the
+        owning queue's live count is adjusted exactly once, and only if
+        the event was still pending.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        self._queue = None
+        if queue is not None and not self.popped:
+            queue._discard_live()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -59,6 +74,7 @@ class EventQueue:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._peak = 0
 
     def push(
         self,
@@ -77,8 +93,11 @@ class EventQueue:
             callback=callback,
             label=label,
         )
+        event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
+        if self._live > self._peak:
+            self._peak = self._live
         return event
 
     def pop(self) -> Event:
@@ -90,6 +109,8 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.popped = True
+            event._queue = None
             self._live -= 1
             return event
         raise IndexError("pop from empty EventQueue")
@@ -103,10 +124,13 @@ class EventQueue:
         return self._heap[0].time
 
     def cancel(self, event: Event) -> None:
-        """Cancel ``event``; popping will silently skip it."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Cancel ``event``; popping will silently skip it.
+
+        Equivalent to ``event.cancel()`` — both paths share the same
+        accounting, so cancelling twice, or cancelling an event that was
+        already popped and executed, leaves ``len(queue)`` untouched.
+        """
+        event.cancel()
 
     def empty(self) -> bool:
         """True if no live events remain."""
@@ -115,10 +139,21 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
+    @property
+    def peak_live(self) -> int:
+        """High-water mark of simultaneously pending live events."""
+        return self._peak
+
     def clear(self) -> None:
-        """Drop all events."""
+        """Drop all events.  The peak high-water mark is preserved."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
         self._live = 0
+
+    def _discard_live(self) -> None:
+        """Internal: a pending event was cancelled out from under us."""
+        self._live -= 1
 
 
 @dataclass

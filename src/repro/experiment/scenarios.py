@@ -9,7 +9,7 @@ third-party network, an unmaintained owned arm, and the policy ablation
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Optional
 
 from ..analysis.uptime import MonteCarloUptime
 from ..core import units
@@ -91,7 +91,9 @@ SCENARIOS: Dict[str, Callable[[int], FiftyYearConfig]] = {
 }
 
 
-def run_scenario(name: str, seed: int = 2021, horizon: float = None) -> FiftyYearResult:
+def run_scenario(
+    name: str, seed: int = 2021, horizon: Optional[float] = None
+) -> FiftyYearResult:
     """Build and run one named scenario."""
     if name not in SCENARIOS:
         raise KeyError(f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}")
@@ -106,22 +108,30 @@ def monte_carlo_uptime(
     runs: int = 5,
     base_seed: int = 100,
     horizon: float = units.years(50.0),
-    report_interval: float = None,
+    report_interval: Optional[float] = None,
+    workers: int = 1,
 ) -> MonteCarloUptime:
     """Overall weekly uptime across independent seeds of one scenario.
 
     ``report_interval`` overrides the scenario's device cadence — pass a
     coarser interval (e.g. daily) to make many-seed studies cheap; the
     weekly metric is insensitive to any cadence well under a week.
+
+    Runs execute on :class:`repro.runtime.MonteCarloRunner`: per-run
+    seeds come from the fork lineage of ``base_seed``, and ``workers``
+    fans runs across processes without changing the result — any worker
+    count yields bit-identical statistics.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    samples: List[float] = []
-    for index in range(runs):
-        config = SCENARIOS[name](base_seed + index)
-        config = replace(config, horizon=horizon)
-        if report_interval is not None:
-            config = replace(config, report_interval=report_interval)
-        result = FiftyYearExperiment(config).run()
-        samples.append(result.overall.uptime)
-    return MonteCarloUptime.from_samples(samples)
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}")
+    from ..runtime import MonteCarloRunner, ScenarioTask
+
+    task = ScenarioTask(
+        scenario=name, horizon=horizon, report_interval=report_interval
+    )
+    runner = MonteCarloRunner(
+        task, runs=runs, base_seed=base_seed, workers=workers
+    )
+    return runner.run().uptime

@@ -1,0 +1,27 @@
+"""Deterministic parallel Monte-Carlo execution layer.
+
+One simulation run is single-threaded by design; a *study* of many
+seeds is embarrassingly parallel.  This package fans runs across worker
+processes while guaranteeing bit-identical aggregates at any worker
+count — seeds are fixed up front via the hash-chained
+:meth:`repro.core.rng.RandomStreams.fork` lineage, and results are
+reassembled in run order.
+"""
+
+from .runner import (
+    MonteCarloRunner,
+    MonteCarloStudy,
+    MonteCarloTask,
+    RunResult,
+    ScenarioTask,
+    derive_seeds,
+)
+
+__all__ = [
+    "MonteCarloRunner",
+    "MonteCarloStudy",
+    "MonteCarloTask",
+    "RunResult",
+    "ScenarioTask",
+    "derive_seeds",
+]

@@ -1,0 +1,235 @@
+"""Deterministic parallel Monte-Carlo execution.
+
+Many-seed studies (E9/E11/E20) are embarrassingly parallel: each run is
+one independent :class:`~repro.core.engine.Simulation` with its own
+seed.  :class:`MonteCarloRunner` fans a picklable task out over a
+``ProcessPoolExecutor`` and guarantees *bit-identical* results at any
+worker count, because all randomness is fixed before any work is
+dispatched:
+
+1. Run seeds are derived in the parent through the hash-chained
+   :meth:`repro.core.rng.RandomStreams.fork` lineage — run *i* always
+   gets ``RandomStreams(base_seed).fork(i).seed``, a 128-bit integer
+   that fully reconstructs its stream family in any process.
+2. Workers never share state; each returns a structured
+   :class:`RunResult` (sample, wall-clock, event count, peak pending
+   queue) and results are reassembled in index order regardless of
+   completion order.
+
+When ``workers=1``, or when the platform cannot host a process pool
+(sandboxes without semaphores, missing ``fork``/``spawn`` support), the
+runner executes the same task list serially in-process — same seeds,
+same ordering, same aggregate statistics.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple, Union
+
+from ..analysis.uptime import MonteCarloUptime
+from ..core import units
+from ..core.rng import RandomStreams
+
+#: A unit of Monte-Carlo work: ``task(index, seed)``.  Must be picklable
+#: (a module-level function or a frozen dataclass like ScenarioTask) for
+#: process-pool execution.  May return a full RunResult or a bare float
+#: sample, which the runner wraps.
+MonteCarloTask = Callable[[int, int], Union["RunResult", float]]
+
+
+def derive_seeds(base_seed: int, runs: int) -> List[int]:
+    """The canonical seed schedule: one fork per run index.
+
+    Forks are hash-chained (see :meth:`RandomStreams.fork`), so distinct
+    ``(base_seed, index)`` pairs yield distinct 128-bit run seeds, and
+    the schedule is identical no matter where or when it is computed —
+    the invariant that makes serial and parallel execution agree bit for
+    bit.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    root = RandomStreams(seed=base_seed)
+    return [root.fork(index).seed for index in range(runs)]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Structured outcome of one Monte-Carlo run."""
+
+    index: int
+    seed: int
+    #: The statistic being aggregated (weekly uptime for scenario tasks).
+    sample: float
+    wall_clock_s: float = 0.0
+    events_executed: int = 0
+    peak_pending_events: int = 0
+    #: Full experiment result, present only when the task keeps it.
+    detail: object = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class MonteCarloStudy:
+    """Everything a many-seed study produces, runs plus aggregate."""
+
+    label: str
+    base_seed: int
+    workers: int
+    runs: List[RunResult]
+    uptime: MonteCarloUptime
+    wall_clock_s: float
+
+    @property
+    def total_events(self) -> int:
+        """Events executed across all runs."""
+        return sum(r.events_executed for r in self.runs)
+
+    @property
+    def peak_pending_events(self) -> int:
+        """Largest pending-queue high-water mark seen by any run."""
+        return max((r.peak_pending_events for r in self.runs), default=0)
+
+    def summary_lines(self) -> List[str]:
+        """Headline rows for CLI / benchmark output."""
+        agg = self.uptime
+        lines = [
+            f"{self.label}: {agg.runs} runs, {self.workers} worker(s), "
+            f"{self.wall_clock_s:.2f} s wall-clock",
+            f"uptime: mean {agg.mean:.4f} ± {agg.std:.4f}, "
+            f"p5 {agg.p5:.4f}, median {agg.p50:.4f}, worst {agg.worst:.4f}",
+            f"events: {self.total_events:,} executed, "
+            f"peak pending queue {self.peak_pending_events:,}",
+        ]
+        return lines
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """Picklable task running one fifty-year scenario per seed.
+
+    ``overrides`` is a tuple of ``(field, value)`` pairs applied to the
+    scenario's :class:`~repro.experiment.fifty_year.FiftyYearConfig`
+    (tuples, unlike dicts, keep the dataclass hashable/frozen).  With
+    ``keep_result=True`` the full :class:`FiftyYearResult` rides along
+    in :attr:`RunResult.detail` — it is small and picklable.
+    """
+
+    scenario: str
+    horizon: float = units.years(50.0)
+    report_interval: Optional[float] = None
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    keep_result: bool = False
+
+    def __call__(self, index: int, seed: int) -> RunResult:
+        # Imported lazily: repro.experiment itself builds on repro.runtime.
+        from ..experiment.fifty_year import FiftyYearExperiment
+        from ..experiment.scenarios import SCENARIOS
+
+        started = time.perf_counter()
+        config = SCENARIOS[self.scenario](seed)
+        config = replace(config, horizon=self.horizon)
+        if self.report_interval is not None:
+            config = replace(config, report_interval=self.report_interval)
+        if self.overrides:
+            config = replace(config, **dict(self.overrides))
+        experiment = FiftyYearExperiment(config)
+        result = experiment.run()
+        return RunResult(
+            index=index,
+            seed=seed,
+            sample=result.overall.uptime,
+            wall_clock_s=time.perf_counter() - started,
+            events_executed=experiment.sim.executed_events,
+            peak_pending_events=experiment.sim.peak_pending_events,
+            detail=result if self.keep_result else None,
+        )
+
+
+def _execute(task: MonteCarloTask, index: int, seed: int) -> RunResult:
+    """Run one task invocation and normalize its return to a RunResult.
+
+    Module-level so it pickles for the process pool.
+    """
+    outcome = task(index, seed)
+    if isinstance(outcome, RunResult):
+        return outcome
+    return RunResult(index=index, seed=seed, sample=float(outcome))
+
+
+class MonteCarloRunner:
+    """Fan a Monte-Carlo task over processes, deterministically.
+
+    >>> from repro.runtime import MonteCarloRunner, ScenarioTask
+    >>> from repro.core import units
+    >>> task = ScenarioTask("owned-only", horizon=units.years(1.0))
+    >>> study = MonteCarloRunner(task, runs=2, base_seed=7).run()
+    >>> study.uptime.runs
+    2
+    """
+
+    def __init__(
+        self,
+        task: MonteCarloTask,
+        runs: int,
+        base_seed: int = 100,
+        workers: int = 1,
+        label: Optional[str] = None,
+    ) -> None:
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.task = task
+        self.runs = int(runs)
+        self.base_seed = int(base_seed)
+        self.workers = int(workers)
+        self.label = label or getattr(task, "scenario", type(task).__name__)
+
+    def seeds(self) -> List[int]:
+        """The exact per-run seed schedule this runner will use."""
+        return derive_seeds(self.base_seed, self.runs)
+
+    def run(self) -> MonteCarloStudy:
+        """Execute all runs and aggregate; identical at any worker count."""
+        started = time.perf_counter()
+        seeds = self.seeds()
+        indices = list(range(self.runs))
+        if self.workers == 1:
+            results = self._run_serial(indices, seeds)
+        else:
+            results = self._run_pool(indices, seeds)
+        uptime = MonteCarloUptime.from_samples([r.sample for r in results])
+        return MonteCarloStudy(
+            label=self.label,
+            base_seed=self.base_seed,
+            workers=self.workers,
+            runs=results,
+            uptime=uptime,
+            wall_clock_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, indices: List[int], seeds: List[int]) -> List[RunResult]:
+        return [_execute(self.task, i, s) for i, s in zip(indices, seeds)]
+
+    def _run_pool(self, indices: List[int], seeds: List[int]) -> List[RunResult]:
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                # Executor.map preserves submission order, so results come
+                # back index-sorted no matter which worker finishes first.
+                return list(
+                    pool.map(_execute, [self.task] * self.runs, indices, seeds)
+                )
+        except (OSError, ImportError, NotImplementedError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); falling back to serial "
+                f"execution — results are identical, only slower",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._run_serial(indices, seeds)

@@ -55,6 +55,66 @@ class TestEventQueue:
         q.cancel(event)
         assert len(q) == 0
 
+    def test_cancel_after_pop_keeps_accounting(self):
+        # Cancelling an event that already executed must not double-
+        # decrement the live count (the old code drove len() negative
+        # and desynchronized empty()).
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        assert popped is first
+        q.cancel(first)
+        assert len(q) == 1
+        assert not q.empty()
+        q.pop()
+        assert len(q) == 0
+        assert q.empty()
+
+    def test_cancel_after_pop_then_double_cancel(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.pop()
+        q.cancel(event)
+        event.cancel()
+        assert len(q) == 0
+
+    def test_direct_event_cancel_updates_queue(self):
+        # Event.cancel() used to bypass the queue's live count entirely.
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+
+    def test_len_never_negative(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.pop()
+        q.cancel(event)
+        q.cancel(event)
+        event.cancel()
+        assert len(q) == 0
+
+    def test_cancel_after_clear_is_harmless(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.clear()
+        event.cancel()
+        assert len(q) == 0
+
+    def test_peak_live_high_water_mark(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(5)]
+        assert q.peak_live == 5
+        for event in events[:3]:
+            q.cancel(event)
+        assert q.peak_live == 5
+        q.push(9.0, lambda: None)
+        assert q.peak_live == 5  # never got back above the old peak
+        assert len(q) == 3
+
     def test_len_counts_live_events(self):
         q = EventQueue()
         e1 = q.push(1.0, lambda: None)

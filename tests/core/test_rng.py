@@ -59,6 +59,49 @@ class TestRandomStreams:
         with pytest.raises(ValueError):
             RandomStreams(seed=0).fork(-1)
 
+    def test_crc32_colliding_names_get_distinct_streams(self):
+        # "plumless" and "buckeroo" share CRC32 0x4ddb0c25 — the classic
+        # collision pair.  Under the old CRC32-keyed derivation they
+        # silently shared one generator.
+        import zlib
+
+        assert zlib.crc32(b"plumless") == zlib.crc32(b"buckeroo")
+        streams = RandomStreams(seed=7)
+        a = streams.get("plumless").random(8)
+        b = streams.get("buckeroo").random(8)
+        assert not (a == b).all()
+
+    def test_name_with_leading_nul_is_distinct(self):
+        streams = RandomStreams(seed=7)
+        a = streams.get("\x00x").random(8)
+        b = streams.get("x").random(8)
+        assert not (a == b).all()
+
+    def test_crc32_colliding_fork_families_differ(self):
+        # crc32(b"fork:3889:449") == crc32(b"fork:4279:2"), so the old
+        # 32-bit fork derivation gave these two families the same seed.
+        import zlib
+
+        assert zlib.crc32(b"fork:3889:449") == zlib.crc32(b"fork:4279:2")
+        a = RandomStreams(seed=3889).fork(449).get("x").random(8)
+        b = RandomStreams(seed=4279).fork(2).get("x").random(8)
+        assert not (a == b).all()
+
+    def test_fork_of_fork_preserves_lineage(self):
+        root = RandomStreams(seed=9)
+        aa = root.fork(1).fork(2).get("x").random(8)
+        ab = root.fork(2).fork(1).get("x").random(8)
+        ba = root.fork(1).fork(1).get("x").random(8)
+        assert not (aa == ab).all()
+        assert not (aa == ba).all()
+
+    def test_fork_reconstructible_from_integer_seed(self):
+        # A forked family is fully described by its integer seed: a
+        # worker process handed only `fork(i).seed` reproduces it.
+        forked = RandomStreams(seed=9).fork(3)
+        rebuilt = RandomStreams(seed=forked.seed)
+        assert forked.get("x").random() == rebuilt.get("x").random()
+
     def test_names_lists_created_streams(self):
         streams = RandomStreams(seed=0)
         streams.get("b")

@@ -1,0 +1,141 @@
+"""Tests for repro.runtime — the deterministic parallel MC layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import units
+from repro.core.rng import RandomStreams
+from repro.runtime import (
+    MonteCarloRunner,
+    RunResult,
+    ScenarioTask,
+    derive_seeds,
+)
+
+FAST = dict(horizon=units.years(1.0), report_interval=units.days(7.0))
+
+
+def _sample_from_seed(index: int, seed: int) -> float:
+    """Module-level task (picklable) returning a bare float sample."""
+    return RandomStreams(seed=seed).get("sample").random()
+
+
+def _structured_task(index: int, seed: int) -> RunResult:
+    return RunResult(index=index, seed=seed, sample=float(index))
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(100, 5) == derive_seeds(100, 5)
+
+    def test_all_distinct(self):
+        seeds = derive_seeds(100, 64)
+        assert len(set(seeds)) == 64
+
+    def test_matches_fork_lineage(self):
+        root = RandomStreams(seed=100)
+        assert derive_seeds(100, 3) == [root.fork(i).seed for i in range(3)]
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            derive_seeds(100, 0)
+
+
+class TestMonteCarloRunner:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(_sample_from_seed, runs=0)
+        with pytest.raises(ValueError):
+            MonteCarloRunner(_sample_from_seed, runs=1, workers=0)
+
+    def test_serial_runs_in_index_order(self):
+        study = MonteCarloRunner(_structured_task, runs=4, base_seed=1).run()
+        assert [r.index for r in study.runs] == [0, 1, 2, 3]
+        assert study.uptime.runs == 4
+
+    def test_float_samples_are_wrapped(self):
+        study = MonteCarloRunner(_sample_from_seed, runs=3, base_seed=5).run()
+        assert all(isinstance(r, RunResult) for r in study.runs)
+        assert all(0.0 <= r.sample <= 1.0 for r in study.runs)
+
+    def test_parallel_matches_serial_for_plain_task(self):
+        serial = MonteCarloRunner(
+            _sample_from_seed, runs=6, base_seed=7, workers=1
+        ).run()
+        parallel = MonteCarloRunner(
+            _sample_from_seed, runs=6, base_seed=7, workers=2
+        ).run()
+        assert [r.sample for r in serial.runs] == [r.sample for r in parallel.runs]
+        assert serial.uptime == parallel.uptime
+
+    def test_label_defaults_to_scenario(self):
+        task = ScenarioTask("owned-only", **FAST)
+        runner = MonteCarloRunner(task, runs=1)
+        assert runner.label == "owned-only"
+
+
+class TestScenarioTask:
+    def test_structured_observability(self):
+        task = ScenarioTask("owned-only", **FAST)
+        study = MonteCarloRunner(task, runs=2, base_seed=100).run()
+        for run in study.runs:
+            assert 0.0 <= run.sample <= 1.0
+            assert run.events_executed > 0
+            assert run.peak_pending_events > 0
+            assert run.wall_clock_s > 0.0
+            assert run.detail is None
+        assert study.total_events > 0
+        assert study.peak_pending_events > 0
+
+    def test_keep_result_attaches_full_result(self):
+        task = ScenarioTask("owned-only", keep_result=True, **FAST)
+        study = MonteCarloRunner(task, runs=1, base_seed=100).run()
+        detail = study.runs[0].detail
+        assert detail is not None
+        assert detail.overall.uptime == study.runs[0].sample
+
+    def test_overrides_apply(self):
+        task = ScenarioTask(
+            "as-designed", overrides=(("n_lora_devices", 0),), **FAST
+        )
+        study = MonteCarloRunner(task, runs=1, base_seed=100).run()
+        assert study.runs[0].events_executed > 0
+
+    def test_summary_lines_render(self):
+        task = ScenarioTask("owned-only", **FAST)
+        study = MonteCarloRunner(task, runs=1, base_seed=100).run()
+        text = "\n".join(study.summary_lines())
+        assert "owned-only" in text
+        assert "peak pending queue" in text
+
+
+class TestDeterminism:
+    """The acceptance criterion: worker count never changes results."""
+
+    def test_workers_4_vs_1_bit_identical(self):
+        task = ScenarioTask("owned-only", **FAST)
+        serial = MonteCarloRunner(task, runs=4, base_seed=100, workers=1).run()
+        parallel = MonteCarloRunner(task, runs=4, base_seed=100, workers=4).run()
+        # Every field of the aggregate, bit for bit.
+        assert dataclasses.asdict(serial.uptime) == dataclasses.asdict(
+            parallel.uptime
+        )
+        for a, b in zip(serial.runs, parallel.runs):
+            assert a.index == b.index
+            assert a.seed == b.seed
+            assert a.sample == b.sample
+            assert a.events_executed == b.events_executed
+            assert a.peak_pending_events == b.peak_pending_events
+
+    def test_monte_carlo_uptime_workers_invariant(self):
+        from repro.experiment import monte_carlo_uptime
+
+        kwargs = dict(runs=3, base_seed=100, **FAST)
+        assert monte_carlo_uptime("owned-only", workers=1, **kwargs) == \
+            monte_carlo_uptime("owned-only", workers=2, **kwargs)
+
+    def test_seeds_are_fork_derived(self):
+        task = ScenarioTask("owned-only", **FAST)
+        runner = MonteCarloRunner(task, runs=3, base_seed=42)
+        assert runner.seeds() == derive_seeds(42, 3)

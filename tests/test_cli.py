@@ -75,6 +75,21 @@ class TestCommands:
         assert main(["run", "moonbase", "--years", "1"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_mc_study(self, capsys):
+        code = main([
+            "mc", "owned-only", "--runs", "2", "--years", "1",
+            "--workers", "1", "--report-days", "7", "--per-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "peak pending queue" in out
+        assert "peak-q" in out
+
+    def test_mc_unknown_scenario(self, capsys):
+        assert main(["mc", "moonbase", "--runs", "1"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
     def test_export(self, tmp_path, capsys):
         assert main(["export", "--out", str(tmp_path / "figs"), "--seed", "1"]) == 0
         out = capsys.readouterr().out
