@@ -21,9 +21,8 @@ from .export import (
     write_csv,
 )
 from .metrics import FactorComparison, Summary, first_crossing, summarize_samples
+from .diary import DiaryEntry, ExperimentDiary
 from .report import (
-    DiaryEntry,
-    ExperimentDiary,
     PaperComparison,
     comparison_table,
 )

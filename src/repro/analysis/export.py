@@ -15,6 +15,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 from ..core import units
 from ..core.lifetime import FleetTimeline
+from ..core.rng import RandomStreams
 from ..reliability.survival import SurvivalCurve
 
 Header = Sequence[str]
@@ -83,8 +84,6 @@ def export_all_figures(out_dir, seed: int = 2021) -> List[Path]:
     One file per figure: E5 TCO curves, E10 survival curves, E11
     coverage timelines, E14 error-vs-spacing, E15 delivery-vs-density.
     """
-    import numpy as np
-
     from ..city.airquality import PollutionFieldConfig, density_study
     from ..core.lifetime import en_masse_fleet, pipelined_fleet
     from ..econ.backhaul_tco import tco_series
@@ -96,7 +95,7 @@ def export_all_figures(out_dir, seed: int = 2021) -> List[Path]:
     from ..reliability.survival import kaplan_meier
 
     out_dir = Path(out_dir)
-    rng = np.random.default_rng(seed)
+    rng = RandomStreams(seed).get("analysis.export")
     written: List[Path] = []
 
     # E5 — TCO curves.

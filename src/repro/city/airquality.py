@@ -14,7 +14,7 @@ scale of the network".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -126,7 +126,7 @@ def evaluate_density(
     config: PollutionFieldConfig,
     spacing_m: float,
     rng: np.random.Generator,
-    surface: np.ndarray = None,
+    surface: Optional[np.ndarray] = None,
 ) -> SensingError:
     """Place sensors on a ``spacing_m`` grid and measure field error."""
     if spacing_m <= 0.0:

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.rng import RandomStreams
+
 
 
 @dataclass(frozen=True)
@@ -214,12 +216,20 @@ def compare_policies(
     visit_interval_days: float = 2.0,
     dispatch_threshold: float = 0.85,
 ) -> SeoulComparison:
-    """Run both policies on identically-distributed fleets and compare."""
+    """Run both policies on identically-distributed fleets and compare.
+
+    Each policy gets a *fresh* copy of the same named stream, so both
+    replay identical draws (paired fleets) while staying inside the
+    ``RandomStreams`` seed-derivation discipline (simlint SL002).
+    """
+    def paired_rng(run_seed: int) -> np.random.Generator:
+        return RandomStreams(run_seed).get("city.trash")
+
     baseline = simulate_scheduled(
-        config, np.random.default_rng(seed), horizon_days, visit_interval_days
+        config, paired_rng(seed), horizon_days, visit_interval_days
     )
     smart = simulate_sensor_driven(
-        config, np.random.default_rng(seed), horizon_days, dispatch_threshold
+        config, paired_rng(seed), horizon_days, dispatch_threshold
     )
     return SeoulComparison(
         overflow_reduction=smart.overflow_reduction_vs(baseline),

@@ -9,6 +9,7 @@ Exposes the most-used entry points without writing Python::
     python -m repro tco --gateways 100 --horizon 50
     python -m repro la                        # the §1 labor arithmetic
     python -m repro capacity --interval-s 3600
+    python -m repro lint --format json src    # simlint static analysis
 
 Output is plain text, one artifact per subcommand, suitable for piping.
 """
@@ -178,6 +179,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.simlint import run
+
+    return run(args.paths, fmt=args.format, list_rules=args.list_rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -233,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", default="figures")
     export.add_argument("--seed", type=int, default=2021)
 
+    lint = sub.add_parser(
+        "lint", help="simlint: determinism & unit-hygiene static analysis"
+    )
+    from .devtools.simlint import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -245,6 +259,7 @@ COMMANDS = {
     "la": _cmd_la,
     "capacity": _cmd_capacity,
     "export": _cmd_export,
+    "lint": _cmd_lint,
 }
 
 

@@ -1,0 +1,8 @@
+"""Developer tooling that guards centurysim's correctness invariants.
+
+The simulator's headline guarantee — bit-identical Monte-Carlo
+statistics at any worker count — rests on conventions (all randomness
+flows from :class:`repro.core.rng.RandomStreams`, no wall-clock reads in
+sim code, strict layering) that ordinary tests cannot enforce.  The
+tools here enforce them statically; see :mod:`repro.devtools.simlint`.
+"""

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools.simlint`` dispatches to the simlint CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

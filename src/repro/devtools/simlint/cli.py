@@ -1,0 +1,79 @@
+"""Command-line front end for simlint.
+
+Reachable three ways, all sharing :func:`run`:
+
+* ``python -m repro lint [--format json] [paths...]``
+* ``python -m repro.devtools.simlint ...`` (standalone)
+* the ``lint-sim`` CI step, which parses the JSON output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analyzer import lint_paths
+from .reporters import render
+from .rules import catalog
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package — what ``lint`` checks when no
+    paths are given."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach simlint's options to ``parser`` (shared with repro.cli)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run(
+    paths: List[str],
+    fmt: str = "text",
+    list_rules: bool = False,
+) -> int:
+    """Lint ``paths`` and print a report; exit code 1 iff findings."""
+    if list_rules:
+        for rule_id, title, rationale in catalog():
+            print(f"{rule_id}  {title}")
+            print(f"       {rationale}")
+        return 0
+    targets = paths or [str(default_target())]
+    try:
+        findings = lint_paths(targets)
+    except FileNotFoundError as error:
+        print(f"simlint: {error}", file=sys.stderr)
+        return 2
+    print(render(findings, fmt))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.simlint``)."""
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="AST-based determinism & unit-hygiene analyzer for centurysim",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(args.paths, fmt=args.format, list_rules=args.list_rules)

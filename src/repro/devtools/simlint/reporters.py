@@ -1,0 +1,51 @@
+"""Text and JSON renderers for simlint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+
+#: Bumped whenever the JSON shape changes; CI pins on it.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines = [finding.format() for finding in findings]
+    if findings:
+        by_rule = rule_counts(findings)
+        breakdown = ", ".join(f"{rule} x{count}" for rule, count in by_rule.items())
+        lines.append(f"simlint: {len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("simlint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (consumed by the CI ``lint-sim`` step)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "counts_by_rule": rule_counts(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Findings per rule id, sorted by id."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render(findings: List[Finding], fmt: str) -> str:
+    """Dispatch on ``fmt`` ("text" or "json")."""
+    if fmt == "json":
+        return render_json(findings)
+    if fmt == "text":
+        return render_text(findings)
+    raise ValueError(f"unknown format {fmt!r}")

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..analysis.report import ExperimentDiary
+from ..analysis.diary import ExperimentDiary
 from ..analysis.uptime import interval_coverage
 from ..core import units
 from ..core.engine import Simulation
@@ -161,10 +161,10 @@ class FiftyYearExperiment:
         self.sim = Simulation(seed=config.seed)
         self.ledger = MaintenanceLedger()
         self.diary = ExperimentDiary()
-        self.endpoint: CloudEndpoint = None
-        self.campus: CampusBackhaul = None
+        self.endpoint: Optional[CloudEndpoint] = None
+        self.campus: Optional[CampusBackhaul] = None
         self.owned_gateways: List[OwnedGateway] = []
-        self.helium: HeliumNetwork = None
+        self.helium: Optional[HeliumNetwork] = None
         self.devices_154: List[EdgeDevice] = []
         self.devices_lora: List[EdgeDevice] = []
         self.gateway_replacements = 0

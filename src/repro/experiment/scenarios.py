@@ -126,7 +126,10 @@ def monte_carlo_uptime(
         raise ValueError("runs must be >= 1")
     if name not in SCENARIOS:
         raise KeyError(f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}")
-    from ..runtime import MonteCarloRunner, ScenarioTask
+    # Deliberate lazy inversion: runtime imports experiment lazily in its
+    # workers, and this convenience wrapper reaches back up only at call
+    # time, so no import cycle materialises.
+    from ..runtime import MonteCarloRunner, ScenarioTask  # simlint: ignore[SL006]
 
     task = ScenarioTask(
         scenario=name, horizon=horizon, report_interval=report_interval

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core import units
+from ..core.rng import RandomStreams
 
 
 class TrustLevel(enum.Enum):
@@ -118,15 +119,33 @@ class DeviceTrustRecord:
 
 
 class TrustRegistry:
-    """The backend's ledger of device keys, verdicts, and blocklists."""
+    """The backend's ledger of device keys, verdicts, and blocklists.
+
+    Randomness must be explicit: pass either ``rng`` (typically
+    ``sim.rng("trust")``) or ``seed``, from which a dedicated
+    ``net.trust`` stream is derived.  The old silent
+    ``default_rng(0)`` fallback made every unseeded registry replay the
+    same break/leak times — two "independent" backends were secretly
+    correlated.
+    """
 
     def __init__(
         self,
-        policy: TrustPolicy = None,
-        rng: np.random.Generator = None,
+        policy: Optional[TrustPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[int] = None,
     ) -> None:
-        self.policy = policy or TrustPolicy()
-        self._rng = rng or np.random.default_rng(0)
+        if rng is None and seed is None:
+            raise ValueError(
+                "TrustRegistry requires an explicit rng= (e.g. "
+                "sim.rng('trust')) or seed=; refusing to default to a "
+                "shared seed"
+            )
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng= or seed=, not both")
+        self.policy = policy if policy is not None else TrustPolicy()
+        self._rng = rng if rng is not None else RandomStreams(seed).get("net.trust")
         self.records: Dict[str, DeviceTrustRecord] = {}
 
     def commission(

@@ -89,7 +89,10 @@ def kaplan_meier(
     s = 1.0
     for t in unique_times:
         at_risk = int(np.sum(durations >= t))
-        deaths = int(np.sum((durations == t) & events))
+        # `t` iterates over np.unique(durations[...]): the values compared
+        # are bit-identical floats from the same array, so equality is an
+        # exact group-by, not an accumulated-time comparison.
+        deaths = int(np.sum((durations == t) & events))  # simlint: ignore[SL005]
         if at_risk > 0:
             s *= 1.0 - deaths / at_risk
         survival.append(s)

@@ -1,0 +1,25 @@
+"""Fixture: a module that satisfies every simlint rule.
+
+Never imported — read from disk by the simlint tests.
+"""
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.rng import RandomStreams
+
+
+def sample_uptime(seed: int, n: int = 8) -> List[float]:
+    rng: np.random.Generator = RandomStreams(seed).get("fixture.clean")
+    return [float(x) for x in rng.random(n)]
+
+
+def weekly_window(now: float, deadline: float) -> bool:
+    return now >= deadline
+
+
+def merge(extra: Optional[List[float]] = None) -> List[float]:
+    merged: List[float] = []
+    merged.extend(extra or [])
+    return merged

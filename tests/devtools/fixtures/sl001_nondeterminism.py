@@ -1,0 +1,32 @@
+"""Fixture: SL001 violations (banned nondeterminism sources).
+
+Never imported — read from disk by the simlint tests.  Expected
+findings are asserted by line number in test_simlint_rules.py; keep the
+line layout stable.
+"""
+
+import os
+import random                              # line 9: SL001 (import)
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()                     # line 16: SL001
+
+
+def label() -> str:
+    return str(uuid.uuid4())               # line 20: SL001
+
+
+def jitter() -> float:
+    return random.random()                 # line 24: SL001
+
+
+def today() -> str:
+    return datetime.now().isoformat()      # line 28: SL001
+
+
+def token() -> bytes:
+    return os.urandom(8)                   # line 32: SL001

@@ -1,0 +1,21 @@
+"""Fixture: SL002 violations (ad-hoc numpy generators).
+
+Never imported — read from disk by the simlint tests.  Keep the line
+layout stable.
+"""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh() -> np.random.Generator:
+    return np.random.default_rng(0)        # line 12: SL002
+
+
+def renamed() -> np.random.Generator:
+    return default_rng(42)                 # line 16: SL002
+
+
+def legacy() -> float:
+    np.random.seed(7)                      # line 20: SL002
+    return float(np.random.random())       # line 21: SL002

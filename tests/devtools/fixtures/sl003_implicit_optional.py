@@ -1,0 +1,49 @@
+"""Fixture: SL003 violations (implicit-Optional annotations).
+
+Never imported — read from disk by the simlint tests.  Keep the line
+layout stable.
+"""
+
+from typing import Any, List, Optional, Union
+
+
+def bad_param(horizon: float = None) -> float:       # line 10: SL003
+    return horizon or 0.0
+
+
+def bad_keyword(*, label: str = None) -> str:        # line 14: SL003
+    return label or ""
+
+
+class State:
+    def __init__(self) -> None:
+        self.endpoint: "Endpoint" = None             # line 20: SL003
+        self.count: int = 0
+
+
+def fine_optional(x: Optional[float] = None) -> float:
+    return x or 0.0
+
+
+def fine_union(x: Union[float, None] = None) -> float:
+    return x or 0.0
+
+
+def fine_any(x: Any = None) -> Any:
+    return x
+
+
+def fine_pep604(x: "float | None" = None) -> float:
+    return x or 0.0
+
+
+def fine_no_annotation(x=None):
+    return x
+
+
+def fine_list(xs: List[float]) -> int:
+    return len(xs)
+
+
+class Endpoint:
+    pass

@@ -1,0 +1,31 @@
+"""Fixture: SL004 violations (mutable default arguments).
+
+Never imported — read from disk by the simlint tests.  Keep the line
+layout stable.
+"""
+
+from typing import Dict, List, Optional
+
+
+def bad_list(samples: List[float] = []) -> int:      # line 10: SL004
+    return len(samples)
+
+
+def bad_dict(weights: Dict[str, float] = {}) -> int:  # line 14: SL004
+    return len(weights)
+
+
+def bad_call(names=list()) -> int:                   # line 18: SL004
+    return len(names)
+
+
+def bad_keyword(*, seen=set()) -> int:               # line 22: SL004
+    return len(seen)
+
+
+def fine_none(samples: Optional[List[float]] = None) -> int:
+    return len(samples or [])
+
+
+def fine_tuple(samples: tuple = ()) -> int:
+    return len(samples)

@@ -1,0 +1,33 @@
+"""Fixture: SL005 violations (float equality against simulation time).
+
+Never imported — read from disk by the simlint tests.  Keep the line
+layout stable.
+"""
+
+
+def at_horizon(now: float, horizon: float) -> bool:
+    return now == horizon                            # line 9: SL005
+
+
+def missed_deadline(t: float, deadline: float) -> bool:
+    return t != deadline                             # line 13: SL005
+
+
+def event_due(scheduled_at: float, sim_time: float) -> bool:
+    return scheduled_at == sim_time                  # line 17: SL005
+
+
+def nan_guard(time: float) -> bool:
+    return time != time                              # exempt: NaN idiom
+
+
+def fine_window(now: float, deadline: float) -> bool:
+    return abs(now - deadline) < 1e-9
+
+
+def fine_ordered(t: float, horizon: float) -> bool:
+    return t >= horizon
+
+
+def fine_not_time(count: int, total: int) -> bool:
+    return count == total

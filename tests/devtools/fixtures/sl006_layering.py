@@ -1,0 +1,20 @@
+"""Fixture: SL006 violations (sim layer importing upper layers).
+
+Never imported — read from disk and linted under the module name
+``repro.city.sl006_layering`` so the layering rule applies.  Keep the
+line layout stable.
+"""
+
+from repro.runtime import MonteCarloRunner           # line 8: SL006
+from repro.analysis.report import PaperComparison    # line 9: SL006
+import repro.cli                                     # line 10: SL006
+from repro.analysis.diary import ExperimentDiary     # fine: diary is sim-facing
+from repro.core import units                         # fine: downward import
+
+__all__ = [
+    "MonteCarloRunner",
+    "PaperComparison",
+    "repro",
+    "ExperimentDiary",
+    "units",
+]

@@ -1,0 +1,21 @@
+"""Fixture: violations silenced by suppression comments.
+
+Never imported — read from disk by the simlint tests.  Every violation
+here carries an ignore pragma, so the file must lint clean; the one
+exception (line 17) carries a pragma for a *different* rule and must
+still be reported.
+"""
+
+import random  # simlint: ignore[SL001]
+
+
+def stamp(t: float, deadline: float) -> bool:
+    return t == deadline  # simlint: ignore
+
+
+def jitter() -> float:
+    return random.random()  # simlint: ignore[SL004]
+
+
+def shuffle(xs: list) -> None:
+    random.shuffle(xs)  # simlint: ignore[SL001, SL005]

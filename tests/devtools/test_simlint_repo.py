@@ -1,0 +1,29 @@
+"""The repo gate: ``src/repro`` must lint clean, forever.
+
+This is the test that turns simlint's conventions into enforced
+invariants — any PR that reintroduces an ad-hoc ``default_rng``, a
+wall-clock read, or a layering violation fails here, not in review.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.devtools.simlint import lint_paths, render_text
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def test_repro_package_lints_clean():
+    findings = lint_paths([PACKAGE_ROOT])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_gate_actually_scans_the_tree():
+    # Guard the guard: if file discovery broke, the gate above would
+    # pass vacuously.  The package has dozens of modules; require a
+    # sane floor.
+    from repro.devtools.simlint import iter_python_files
+
+    files = iter_python_files([PACKAGE_ROOT])
+    assert len(files) > 50
+    assert any(f.name == "trust.py" for f in files)

@@ -19,6 +19,30 @@ def registry(leak_rate=0.0, seed=3, **policy_kwargs):
     return TrustRegistry(policy=policy, rng=np.random.default_rng(seed))
 
 
+class TestRegistryRandomness:
+    def test_unseeded_registry_rejected(self):
+        # The old silent default_rng(0) fallback made every unseeded
+        # registry replay identical break/leak times.
+        with pytest.raises(ValueError):
+            TrustRegistry()
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            TrustRegistry(rng=np.random.default_rng(1), seed=1)
+
+    def test_seed_derives_reproducible_stream(self):
+        a = TrustRegistry(seed=7)
+        b = TrustRegistry(seed=7)
+        ra = a.commission("dev-1", "ed25519")
+        rb = b.commission("dev-1", "ed25519")
+        assert ra.scheme_breaks_at == rb.scheme_breaks_at
+
+    def test_distinct_seeds_diverge(self):
+        a = TrustRegistry(seed=7).commission("dev-1", "ed25519")
+        b = TrustRegistry(seed=8).commission("dev-1", "ed25519")
+        assert a.scheme_breaks_at != b.scheme_breaks_at
+
+
 class TestSigningScheme:
     def test_break_times_positive_and_median(self, rng):
         scheme = SigningScheme("x", break_median_years=60.0, break_sigma=0.5)
