@@ -1,0 +1,89 @@
+"""Record the pre-optimization kernel baseline into BENCH_kernel.json.
+
+Run once against the seed tree (before the PR-3 kernel work) to pin the
+numbers every later ``bench_e22_kernel`` run reports its speedup
+against.  Re-run only to re-baseline after an intentional perf change::
+
+    PYTHONPATH=src python benchmarks/capture_perf_baseline.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.core.events import EventQueue
+from repro.runtime import ScenarioTask, derive_seeds
+
+from kernel_workloads import (
+    N_EVENTS,
+    event_times,
+    time_workload,
+    workload_churn,
+    workload_push_pop,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+E2E_SCENARIO = "as-designed"
+E2E_BASE_SEED = 2021
+
+
+def host_facts() -> dict:
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+    }
+
+
+def measure_micro(queue_cls) -> dict:
+    times = event_times()
+    return {
+        "n_events": N_EVENTS,
+        "push_pop_s": time_workload(workload_push_pop, queue_cls, times),
+        "churn_s": time_workload(workload_churn, queue_cls, times),
+    }
+
+
+def measure_e2e() -> dict:
+    task = ScenarioTask(scenario=E2E_SCENARIO)
+    seed = derive_seeds(E2E_BASE_SEED, 1)[0]
+    result = task(0, seed)
+    return {
+        "scenario": E2E_SCENARIO,
+        "horizon_years": 50.0,
+        "base_seed": E2E_BASE_SEED,
+        "wall_clock_s": result.wall_clock_s,
+        "events_executed": result.events_executed,
+        "peak_pending_events": result.peak_pending_events,
+        "uptime": result.sample,
+    }
+
+
+def main() -> None:
+    baseline = {
+        "captured_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "kernel": "pre-PR3 dataclass-Event seed kernel",
+        "host": host_facts(),
+        "micro": measure_micro(EventQueue),
+        "e2e": measure_e2e(),
+    }
+    document = {"version": 1, "baseline": baseline, "latest": None}
+    BENCH_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    micro = baseline["micro"]
+    e2e = baseline["e2e"]
+    print(f"baseline micro: push/pop {micro['push_pop_s']:.3f} s, "
+          f"churn {micro['churn_s']:.3f} s for {micro['n_events']} events")
+    print(f"baseline e2e:   {e2e['wall_clock_s']:.2f} s for 1-seed 50-year "
+          f"{e2e['scenario']} ({e2e['events_executed']:,} events)")
+    print(f"wrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

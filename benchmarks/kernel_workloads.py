@@ -1,0 +1,89 @@
+"""Shared event-queue workloads for the kernel benchmarks (E22).
+
+Each workload takes an ``EventQueue``-compatible class so the same code
+measures the current kernel and :mod:`legacy_kernel` (the pre-PR-3
+dataclass-Event implementation) on the same machine — speedup claims
+never compare timings taken on different hardware.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, List
+
+import numpy as np
+
+#: One deterministic schedule of event times shared by all measurements.
+N_EVENTS = 200_000
+
+
+def event_times(n: int = N_EVENTS) -> List[float]:
+    """A fixed pseudo-random schedule (seconds over ~50 simulated years)."""
+    rng = np.random.default_rng(2021)
+    return [float(t) for t in rng.uniform(0.0, 1.6e9, size=n)]
+
+
+def _noop() -> None:
+    return None
+
+
+def workload_push_pop(queue_cls, times: List[float]) -> int:
+    """Heap throughput: push every event, then drain in time order."""
+    queue = queue_cls()
+    for t in times:
+        queue.push(t, _noop)
+    popped = 0
+    while not queue.empty():
+        queue.pop()
+        popped += 1
+    return popped
+
+
+def workload_churn(queue_cls, times: List[float]) -> int:
+    """Cancel-heavy mix: every step arms two events and cancels one.
+
+    This is the PeriodicTask-stop / device-death pattern that leaves
+    dead weight in a lazy-deletion heap over a 50-year horizon.
+    """
+    queue = queue_cls()
+    popped = 0
+    for index, t in enumerate(times):
+        keep = queue.push(t, _noop)
+        doomed = queue.push(t + 0.5, _noop)
+        queue.cancel(doomed)
+        if index % 2:
+            queue.pop()
+            popped += 1
+        del keep
+    while not queue.empty():
+        queue.pop()
+        popped += 1
+    return popped
+
+
+def time_workload(workload: Callable, queue_cls, times: List[float],
+                  repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one workload.
+
+    The collector is paused around each timed run: when the whole bench
+    suite runs in one process, ambient garbage from earlier benches
+    would otherwise trigger gen-2 collections mid-measurement and add
+    noise to what is meant to be a pure kernel comparison.
+    """
+    best = float("inf")
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            workload(queue_cls, times)
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best = elapsed
+            gc.collect()
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best

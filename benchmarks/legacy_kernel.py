@@ -1,0 +1,112 @@
+"""The pre-PR-3 event-queue implementation, frozen for benchmarking.
+
+This is the seed tree's ``repro/core/events.py`` kernel: a
+``@dataclass(order=True)`` Event whose generated ``__lt__`` runs on
+every heap sift, and a peek-then-pop engine loop.  ``bench_e22_kernel``
+races it against the optimized kernel on the same machine so the
+recorded speedup is hardware-independent.
+
+Do not "fix" this module — its slowness is the baseline being measured.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+LegacyEventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    """The seed kernel's Event: ordering via generated ``__lt__``."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: LegacyEventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+    popped: bool = field(compare=False, default=False)
+    _queue: Optional["LegacyEventQueue"] = field(
+        compare=False, default=None, repr=False
+    )
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        queue = self._queue
+        self._queue = None
+        if queue is not None and not self.popped:
+            queue._discard_live()
+
+
+class LegacyEventQueue:
+    """The seed kernel's EventQueue: object-ordered heap, lazy deletion,
+    and no dead-weight compaction."""
+
+    def __init__(self) -> None:
+        self._heap: List[LegacyEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+        self._peak = 0
+
+    def push(
+        self,
+        time: float,
+        callback: LegacyEventCallback,
+        priority: int = 0,
+        label: str = "",
+    ) -> LegacyEvent:
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        event = LegacyEvent(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        event._queue = self
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        if self._live > self._peak:
+            self._peak = self._live
+        return event
+
+    def pop(self) -> LegacyEvent:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.popped = True
+            event._queue = None
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty LegacyEventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: LegacyEvent) -> None:
+        event.cancel()
+
+    def empty(self) -> bool:
+        return self.peek_time() is None
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def peak_live(self) -> int:
+        return self._peak
+
+    def _discard_live(self) -> None:
+        self._live -= 1

@@ -10,25 +10,63 @@ horizons are covered by the sparsity of events (a sensor transmitting
 hourly for 50 years is ~438k events), not by parallelism.  Parallelism
 lives one layer up: :mod:`repro.runtime` fans independent runs (one
 engine per seed) across worker processes.
+
+The run loop is the innermost hot path of every Monte-Carlo study, so
+:meth:`run_until` drives :meth:`EventQueue.pop_until` directly — one
+heap traversal per executed event instead of the peek-then-pop pair —
+and the log keeps a per-channel index so :meth:`records` never scans
+the full run log.  Both fast paths preserve the determinism contract:
+execution order is exactly ``(time, priority, sequence)`` and all
+randomness flows through :class:`~repro.core.rng.RandomStreams`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from .events import Event, EventQueue
 from .rng import RandomStreams
 
 
-@dataclass
 class LogRecord:
-    """A timestamped observation recorded during a run."""
+    """A timestamped observation recorded during a run.
 
-    time: float
-    channel: str
-    message: str
-    data: Dict[str, Any] = field(default_factory=dict)
+    A plain ``__slots__`` class: fifty-year runs record tens of
+    thousands of observations, so per-record ``__dict__`` overhead and
+    dataclass dispatch are measurable.
+    """
+
+    __slots__ = ("time", "channel", "message", "data")
+
+    def __init__(
+        self,
+        time: float,
+        channel: str,
+        message: str = "",
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.channel = channel
+        self.message = message
+        self.data = {} if data is None else data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogRecord):
+            return NotImplemented
+        return (
+            # Value equality for a recorded observation, not a schedule
+            # comparison: exact float match is the correct semantics.
+            self.time == other.time  # simlint: ignore[SL005]
+            and self.channel == other.channel
+            and self.message == other.message
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LogRecord(time={self.time!r}, channel={self.channel!r}, "
+            f"message={self.message!r}, data={self.data!r})"
+        )
 
 
 class SimulationError(RuntimeError):
@@ -58,8 +96,28 @@ class Simulation:
         self.events = EventQueue()
         self.streams = RandomStreams(seed=seed)
         self.log: List[LogRecord] = []
+        #: Monotone counter bumped by entity lifecycle transitions and
+        #: dependency rewiring (see :mod:`repro.core.entity`).  Consumers
+        #: that cache topology-derived views (e.g. a device's candidate
+        #: gateway list) compare against it to know when to rebuild.
+        self.topology_version: int = 0
+        #: Optional hook called with each :class:`Event` immediately
+        #: before its callback runs — the golden-trace tests use it to
+        #: pin the exact execution order.  Must not mutate the event.
+        self.trace_executed: Optional[Callable[[Event], None]] = None
+        self._log_index: Dict[str, List[LogRecord]] = {}
+        self._entity_id = 0
         self._executed = 0
         self._stopped = False
+
+    def next_entity_id(self) -> int:
+        """Allocate the next auto-naming id for this run's entities.
+
+        Per-simulation (not process-global) so a run's entity names are
+        reproducible regardless of what the process simulated before.
+        """
+        self._entity_id += 1
+        return self._entity_id
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -129,6 +187,8 @@ class Simulation:
                 f"event queue yielded past event at t={event.time} < now={self.now}"
             )
         self.now = event.time
+        if self.trace_executed is not None:
+            self.trace_executed(event)
         event.callback()
         self._executed += 1
         return True
@@ -146,11 +206,21 @@ class Simulation:
             )
         self._stopped = False
         executed = 0
+        pop_until = self.events.pop_until
         while not self._stopped:
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > end_time:
+            event = pop_until(end_time)
+            if event is None:
                 break
-            self.step()
+            if event.time < self.now:
+                raise SimulationError(
+                    f"event queue yielded past event at t={event.time} "
+                    f"< now={self.now}"
+                )
+            self.now = event.time
+            if self.trace_executed is not None:
+                self.trace_executed(event)
+            event.callback()
+            self._executed += 1
             executed += 1
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
@@ -174,11 +244,23 @@ class Simulation:
     # ------------------------------------------------------------------
     def record(self, channel: str, message: str = "", **data: Any) -> None:
         """Append a timestamped observation to the run log."""
-        self.log.append(LogRecord(self.now, channel, message, dict(data)))
+        record = LogRecord(self.now, channel, message, dict(data))
+        self.log.append(record)
+        index = self._log_index.get(channel)
+        if index is None:
+            index = []
+            self._log_index[channel] = index
+        index.append(record)
 
     def records(self, channel: str) -> List[LogRecord]:
-        """All log records on ``channel``, in time order."""
-        return [r for r in self.log if r.channel == channel]
+        """All log records on ``channel``, in time order.
+
+        Served from the per-channel index — O(matches), not a scan of
+        the whole run log.  Returns a fresh list; mutating it does not
+        affect the log.
+        """
+        index = self._log_index.get(channel)
+        return list(index) if index is not None else []
 
     def rng(self, name: str):
         """Shorthand for ``self.streams.get(name)``."""

@@ -18,7 +18,14 @@ _ids = itertools.count(1)
 
 
 def fresh_id(prefix: str) -> str:
-    """Return a process-unique entity id like ``dev-17``."""
+    """Return a process-unique id like ``dev-17``.
+
+    For ad-hoc labelling only.  Entities name themselves from their
+    simulation's own counter (:meth:`Simulation.next_entity_id`), so a
+    run's names are a function of the run, not of whatever else the
+    process created first — a process-global counter here once made
+    golden traces depend on test execution order.
+    """
     return f"{prefix}-{next(_ids)}"
 
 
@@ -37,13 +44,17 @@ class Entity:
     Subclasses call :meth:`deploy` when entering service and
     :meth:`fail`/:meth:`retire` when leaving it.  ``depends_on`` links
     point *up* the hierarchy (device → gateway → backhaul → cloud).
+
+    Every lifecycle transition and dependency rewiring bumps
+    ``sim.topology_version``, the invalidation signal for caches derived
+    from the entity graph (e.g. per-device candidate gateway lists).
     """
 
     TIER = "entity"  # subclasses override: device | gateway | backhaul | cloud
 
     def __init__(self, sim: Simulation, name: Optional[str] = None) -> None:
         self.sim = sim
-        self.name = name or fresh_id(self.TIER)
+        self.name = name or f"{self.TIER}-{sim.next_entity_id()}"
         self.state = EntityState.PLANNED
         self.deployed_at: Optional[float] = None
         self.ended_at: Optional[float] = None
@@ -60,6 +71,7 @@ class Entity:
             raise RuntimeError(f"{self.name} deployed from state {self.state}")
         self.state = EntityState.ACTIVE
         self.deployed_at = self.sim.now
+        self.sim.topology_version += 1
         self.sim.record("deploy", self.name, tier=self.TIER)
         self.on_deploy()
 
@@ -69,6 +81,7 @@ class Entity:
             return
         self.state = EntityState.FAILED
         self.ended_at = self.sim.now
+        self.sim.topology_version += 1
         self.sim.record("fail", self.name, tier=self.TIER, reason=reason)
         self.on_end(reason)
 
@@ -78,6 +91,7 @@ class Entity:
             return
         self.state = EntityState.RETIRED
         self.ended_at = self.sim.now
+        self.sim.topology_version += 1
         self.sim.record("retire", self.name, tier=self.TIER, reason=reason)
         self.on_end(reason)
 
@@ -115,12 +129,14 @@ class Entity:
         if upstream not in self.depends_on:
             self.depends_on.append(upstream)
             upstream.dependents.append(self)
+            self.sim.topology_version += 1
 
     def remove_dependency(self, upstream: "Entity") -> None:
         """Sever a dependency link (e.g. when re-homing to a new gateway)."""
         if upstream in self.depends_on:
             self.depends_on.remove(upstream)
             upstream.dependents.remove(self)
+            self.sim.topology_version += 1
 
     def effective_alive(self) -> bool:
         """True if this entity is in service *and* can reach the top tier.

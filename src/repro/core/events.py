@@ -5,37 +5,72 @@ absolute simulation times, executed in (time, priority, sequence) order.
 Sequence numbers break ties deterministically, which matters for
 reproducibility when many events share a timestamp (e.g. a fleet
 deployed at t=0).
+
+Hot-path layout (PR 3): the heap holds ``(time, priority, sequence,
+event)`` tuples, so every sift comparison is a C-level tuple compare
+that never reaches the :class:`Event` object — the unique sequence
+number settles any tie before the fourth element is looked at.  The
+``Event`` itself is a ``__slots__`` class (no dataclass machinery, no
+per-instance ``__dict__``).  Cancelled events are lazily deleted on pop,
+with threshold compaction so a 50-year horizon of
+``PeriodicTask.stop()``/device-death cancellations cannot accumulate as
+dead heap weight.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 EventCallback = Callable[[], None]
 
+#: Compact the heap once at least this many cancelled entries linger
+#: *and* they outnumber the live ones (see ``EventQueue._discard_live``).
+#: The floor keeps small queues from compacting on every cancel; the
+#: ratio bounds wasted heap memory and sift depth to a constant factor.
+COMPACTION_MIN_DEAD = 64
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback in the future event list.
 
-    Events sort by ``(time, priority, sequence)``.  Lower priority values
-    run first among same-time events.  Cancelled events stay in the heap
-    but are skipped on pop (lazy deletion).  ``popped`` records that the
-    owning queue already handed the event out, so a late cancel cannot
-    corrupt the queue's live-event accounting.
+    Events execute in ``(time, priority, sequence)`` order.  Lower
+    priority values run first among same-time events.  Ordering lives in
+    the queue's heap entries, not on the event (no ``__lt__`` here — the
+    object is never compared during heap sifts).  Cancelled events stay
+    in the heap but are skipped on pop (lazy deletion).  ``popped``
+    records that the owning queue already handed the event out, so a
+    late cancel cannot corrupt the queue's live-event accounting.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    popped: bool = field(compare=False, default=False)
-    _queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "label",
+        "cancelled",
+        "popped",
+        "_queue",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: EventCallback,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.popped = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when popped.
@@ -57,6 +92,12 @@ class Event:
         return f"Event(t={self.time:.6g}, label={self.label!r}, {state})"
 
 
+#: One heap entry: the three ordering keys, then the payload object the
+#: keys were copied from.  The unique sequence guarantees the tuple
+#: compare never falls through to the Event.
+HeapEntry = Tuple[float, int, int, Event]
+
+
 class EventQueue:
     """A future event list with deterministic tie-breaking.
 
@@ -71,9 +112,10 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[HeapEntry] = []
+        self._next_sequence = 0
         self._live = 0
+        self._dead = 0  # cancelled entries still occupying the heap
         self._peak = 0
 
     def push(
@@ -86,15 +128,11 @@ class EventQueue:
         """Schedule ``callback`` at absolute ``time`` and return its Event."""
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        event = Event(
-            time=time,
-            priority=priority,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
-        )
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        event = Event(time, priority, sequence, callback, label)
         event._queue = self
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, (time, priority, sequence, event))
         self._live += 1
         if self._live > self._peak:
             self._peak = self._live
@@ -105,9 +143,11 @@ class EventQueue:
 
         Raises ``IndexError`` if the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
             if event.cancelled:
+                self._dead -= 1
                 continue
             event.popped = True
             event._queue = None
@@ -115,13 +155,41 @@ class EventQueue:
             return event
         raise IndexError("pop from empty EventQueue")
 
+    def pop_until(self, end_time: float) -> Optional[Event]:
+        """Pop the earliest live event at or before ``end_time``.
+
+        Returns None once the next live event lies beyond ``end_time``
+        (the event is re-queued untouched and stays pending) or the
+        queue is empty.  This fuses the engine's old peek-then-pop pair
+        into one heap traversal per executed event.
+        """
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            event = entry[3]
+            if event.cancelled:
+                self._dead -= 1
+                continue
+            if entry[0] > end_time:
+                # Not due yet: put the entry straight back.  Same keys,
+                # same event — pending state and accounting untouched.
+                heappush(heap, entry)  # simlint: ignore[SL007]
+                return None
+            event.popped = True
+            event._queue = None
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Return the time of the earliest live event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+            self._dead -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def cancel(self, event: Event) -> None:
         """Cancel ``event``; popping will silently skip it.
@@ -133,8 +201,12 @@ class EventQueue:
         event.cancel()
 
     def empty(self) -> bool:
-        """True if no live events remain."""
-        return self.peek_time() is None
+        """True if no live events remain.
+
+        O(1): an entry is live iff it is in the heap and not cancelled,
+        which is exactly what ``_live`` counts — no peek needed.
+        """
+        return self._live == 0
 
     def __len__(self) -> int:
         return self._live
@@ -144,16 +216,37 @@ class EventQueue:
         """High-water mark of simultaneously pending live events."""
         return self._peak
 
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled entries currently occupying heap slots (observability)."""
+        return self._dead
+
     def clear(self) -> None:
         """Drop all events.  The peak high-water mark is preserved."""
-        for event in self._heap:
-            event._queue = None
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0
+        self._dead = 0
 
     def _discard_live(self) -> None:
-        """Internal: a pending event was cancelled out from under us."""
+        """Internal: a pending event was cancelled out from under us.
+
+        Converts one live entry into dead heap weight; once the dead
+        outnumber the live (past a small floor) the heap is rebuilt
+        without them, so cancel-heavy workloads stay O(live) instead of
+        accreting every cancellation ever made.
+        """
         self._live -= 1
+        self._dead += 1
+        if self._dead >= COMPACTION_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
+        self._dead = 0
 
 
 @dataclass

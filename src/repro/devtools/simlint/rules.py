@@ -1,4 +1,4 @@
-"""The simlint rule registry and the six shipped rules.
+"""The simlint rule registry and the seven shipped rules.
 
 Each rule guards one determinism or hygiene invariant of the simulator
 (see DESIGN.md "simlint" for the full rationale).  Rules are plain
@@ -541,6 +541,52 @@ class LayeringViolation(Rule):
                         f"sim layer {layer!r} imports {banned} (upper layer); "
                         "invert the dependency or move the shared code down",
                     )
+
+
+# ----------------------------------------------------------------------
+# SL007 — non-tuple heap entries
+# ----------------------------------------------------------------------
+
+@register
+class NonTupleHeapEntry(Rule):
+    """Heap entries must be tuple literals keyed ``(time, priority, seq,
+    payload)`` so ordering is decided by the key, never by comparing
+    payload objects."""
+
+    id = "SL007"
+    title = "heappush entry is not a tuple literal"
+    rationale = (
+        "A non-tuple heap entry makes heapq compare payload objects; that "
+        "either needs a total order on the payload (slow rich-comparison "
+        "dispatch on the hottest loop in the simulator) or raises TypeError "
+        "at the first tie.  Tuple-keyed entries keep ordering explicit, "
+        "deterministic, and cheap.  Re-pushing an entry popped from the "
+        "same heap is the one legitimate exception — suppress it with "
+        "`# simlint: ignore[SL007]`."
+    )
+
+    PUSH_CALLS = frozenset({"heappush", "heappushpop", "heapreplace"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        names = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or len(node.args) < 2:
+                continue
+            resolved = resolve_dotted(node.func, names)
+            if resolved is None:
+                continue
+            parts = resolved.split(".")
+            if parts[0] != "heapq" or parts[-1] not in self.PUSH_CALLS:
+                continue
+            entry = node.args[1]
+            if not isinstance(entry, ast.Tuple):
+                yield self.finding(
+                    ctx,
+                    entry,
+                    f"{parts[-1]} entry {ast.unparse(entry)!r} is not a tuple "
+                    "literal; push an explicit (time, priority, seq, payload) "
+                    "key so ordering never falls back to payload comparison",
+                )
 
 
 def catalog() -> Sequence[Tuple[str, str, str]]:

@@ -267,7 +267,7 @@ class FiftyYearExperiment:
             # compliant device additionally discovers live gateways.
             nearest = min(
                 self.owned_gateways,
-                key=lambda g: device.position.distance_to(g.position),
+                key=lambda g: device.position.distance_sq_to(g.position),
             )
             device.add_dependency(nearest)
             device.gateway_directory = lambda: [
@@ -375,7 +375,7 @@ class FiftyYearExperiment:
             if self.helium.hotspots:
                 nearest = min(
                     self.helium.hotspots,
-                    key=lambda h: device.position.distance_to(h.position),
+                    key=lambda h: device.position.distance_sq_to(h.position),
                 )
                 device.add_dependency(nearest)
             device.gateway_directory = lambda: self.helium.live_hotspots()

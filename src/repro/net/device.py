@@ -85,6 +85,12 @@ class EdgeDevice(Entity):
         self.sensor_kind = sensor_kind
         self.signing_key = f"factory-key:{self.name}"
 
+        #: Cached nearest-first candidate list, valid while the
+        #: simulation's ``topology_version`` is unchanged (bumped by
+        #: every entity lifecycle transition and dependency rewiring).
+        self._candidate_cache: Optional[List[Gateway]] = None
+        self._candidate_version: int = -1
+
         #: Optional dynamic discovery: a zero-argument callable returning
         #: the current gateway population (e.g. a Helium network's live
         #: hotspots).  When set, transmissions consider these gateways in
@@ -126,22 +132,44 @@ class EdgeDevice(Entity):
     # ------------------------------------------------------------------
     # The duty cycle
     # ------------------------------------------------------------------
+    @property
+    def gateway_directory(self):
+        """The dynamic-discovery callable (see ``__init__``), or None."""
+        return self._gateway_directory
+
+    @gateway_directory.setter
+    def gateway_directory(self, directory) -> None:
+        self._gateway_directory = directory
+        self._candidate_cache = None
+
     def candidate_gateways(self) -> List[Gateway]:
         """Gateways this device may try, ordered nearest-first.
 
         Instance-bound devices only ever try their first dependency —
         the §3.1 anti-pattern whose cost the policy ablation measures.
+
+        The list is cached per device and rebuilt only when the
+        simulation's topology version moves (a gateway deployed, failed,
+        retired, or churned; a dependency rewired).  Between rebuilds
+        the gateway population is provably unchanged, so the cache is
+        exact, not approximate.  Entries may since have died — callers
+        must check :meth:`Gateway.hears` on the links they actually try.
         """
+        version = self.sim.topology_version
+        cached = self._candidate_cache
+        if cached is not None and self._candidate_version == version:
+            return cached
         candidates = list(self.depends_on)
         if (
-            self.gateway_directory is not None
+            self._gateway_directory is not None
             and self.attachment is AttachmentPolicy.ANY_COMPATIBLE
         ):
-            candidates.extend(self.gateway_directory())
+            candidates.extend(self._gateway_directory())
         seen = set()
         gateways = []
+        technology = self.technology
         for g in candidates:
-            if not isinstance(g, Gateway) or g.technology != self.technology:
+            if not isinstance(g, Gateway) or g.technology != technology:
                 continue
             if id(g) in seen:
                 continue
@@ -149,7 +177,10 @@ class EdgeDevice(Entity):
             gateways.append(g)
         if self.attachment is AttachmentPolicy.INSTANCE_BOUND:
             gateways = gateways[:1]
-        gateways.sort(key=lambda g: self.position.distance_to(g.position))
+        position = self.position
+        gateways.sort(key=lambda g: position.distance_sq_to(g.position))
+        self._candidate_cache = gateways
+        self._candidate_version = version
         return gateways
 
     def _report(self) -> None:
@@ -161,18 +192,26 @@ class EdgeDevice(Entity):
             return
         packet = self.make_packet()
         heard_by: Optional[Gateway] = None
-        candidates = [g for g in self.candidate_gateways() if g.hears()]
-        if not candidates:
-            self.no_gateway += 1
-            return
         rng = self.sim.rng("radio")
+        position = self.position
         # A broadcast is heard (or not) by everything in range at once;
-        # trying the four best links covers any realistic decode set.
-        for gateway in candidates[:4]:
-            distance = max(self.position.distance_to(gateway.position), 1.0)
+        # trying the four best live links covers any realistic decode
+        # set.  ``hears()`` is evaluated lazily on the links actually
+        # tried, never on the whole candidate list.
+        tried = 0
+        for gateway in self.candidate_gateways():
+            if not gateway.hears():
+                continue
+            tried += 1
+            distance = max(position.distance_to(gateway.position), 1.0)
             if attempt_delivery(self.spec, gateway.path_loss, distance, rng):
                 heard_by = gateway
                 break
+            if tried == 4:
+                break
+        if tried == 0:
+            self.no_gateway += 1
+            return
         if heard_by is None:
             self.radio_lost += 1
             return

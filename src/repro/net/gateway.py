@@ -67,7 +67,13 @@ class Gateway(Entity):
         self.blocklist.discard(device_name)
 
     def hears(self) -> bool:
-        """True if the gateway can currently receive radio traffic."""
+        """True if the gateway can currently receive radio traffic.
+
+        Hot-path contract: :meth:`EdgeDevice._report` calls this lazily
+        on the few links it actually tries (not the whole candidate
+        list), every report, for fifty simulated years — keep it O(1)
+        and side-effect free.
+        """
         return self.alive
 
     def receive(self, packet: Packet) -> bool:

@@ -25,6 +25,17 @@ class Position:
         """Euclidean distance in metres."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
+    def distance_sq_to(self, other: "Position") -> float:
+        """Squared Euclidean distance in metres².
+
+        Monotone in :meth:`distance_to`, so it orders points identically
+        while skipping the square root — use it for nearest-first sorts
+        and nearest-neighbour selection on hot paths.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
     def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y

@@ -159,6 +159,8 @@ class HeliumNetwork:
         self.hotspots: List[ThirdPartyGateway] = []
         self.backhauls: Dict[int, OpaqueBackhaul] = {}
         self._asn_pool: List[int] = []
+        self._live_cache: List[ThirdPartyGateway] = []
+        self._live_cache_version: int = -1
         self._spawn_initial(initial_hotspots)
         self._schedule_arrival()
 
@@ -224,8 +226,19 @@ class HeliumNetwork:
     # Service interface
     # ------------------------------------------------------------------
     def live_hotspots(self) -> List[ThirdPartyGateway]:
-        """Hotspots currently up."""
-        return [h for h in self.hotspots if h.alive]
+        """Hotspots currently up.
+
+        Cached against the simulation's topology version: hotspot
+        aliveness only changes through deploy/retire/fail transitions,
+        each of which bumps the version, so between bumps the filtered
+        list is provably current.  Callers treat the returned list as
+        read-only.
+        """
+        version = self.sim.topology_version
+        if self._live_cache_version != version:
+            self._live_cache = [h for h in self.hotspots if h.alive]
+            self._live_cache_version = version
+        return self._live_cache
 
     def pay_and_forward(self, packet: Packet) -> bool:
         """Debit the wallet for ``packet``; the radio hop happens at the

@@ -128,6 +128,45 @@ class TestPeriodicTask:
         sim.run_until(10.0)
         assert times == [1.0, 2.0]
 
+    def test_stop_mid_run_leaves_no_live_count_drift(self, sim):
+        # A stopped task cancels its pending reschedule; the queue's
+        # live/dead accounting must come out exactly even so a later
+        # drain sees a truly empty queue.
+        tasks = [sim.every(1.0, lambda: None) for _ in range(5)]
+        sim.call_at(10.5, lambda: [t.stop() for t in tasks[:3]])
+        sim.run_until(20.0)
+        assert sum(1 for t in tasks if t.active) == 2
+        # Two live reschedules (one per surviving task) remain pending.
+        assert len(sim.events) == 2
+        sim.run_until(21.0)
+        assert len(sim.events) == 2
+        for task in tasks:
+            task.stop()
+        assert len(sim.events) == 0
+        assert sim.events.empty()
+        sim.run_until(30.0)
+        assert len(sim.events) == 0
+
+    def test_stop_churn_storm_accounting_exact(self, sim):
+        # Start/stop many periodic tasks on different phases and check
+        # the queue never drifts: after everything stops, zero live
+        # events and no stale execution.
+        fired = []
+        tasks = []
+
+        def launch(interval):
+            tasks.append(sim.every(interval, lambda: fired.append(sim.now)))
+
+        for interval in (1.0, 2.0, 3.0, 5.0, 7.0):
+            launch(interval)
+        sim.call_at(8.0, lambda: [t.stop() for t in tasks[::2]])
+        sim.call_at(16.0, lambda: [t.stop() for t in tasks])
+        sim.run_until(50.0)
+        assert len(sim.events) == 0
+        assert sim.events.empty()
+        assert all(not t.active for t in tasks)
+        assert max(fired) <= 16.0
+
 
 class TestRecording:
     def test_record_and_filter(self, sim):

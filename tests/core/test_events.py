@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.events import Event, EventQueue
+from repro.core.events import COMPACTION_MIN_DEAD, Event, EventQueue
 
 
 class TestEventQueue:
@@ -149,3 +149,118 @@ class TestEventQueue:
         assert "x" in repr(event)
         event.cancel()
         assert "cancelled" in repr(event)
+
+
+class TestPopUntil:
+    def test_returns_events_in_order_up_to_horizon(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0, 7.0):
+            q.push(t, lambda: None)
+        times = []
+        while True:
+            event = q.pop_until(5.0)
+            if event is None:
+                break
+            times.append(event.time)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_beyond_horizon_event_stays_pending(self):
+        q = EventQueue()
+        q.push(10.0, lambda: None)
+        assert q.pop_until(5.0) is None
+        # The requeued entry must be untouched: still live, still peekable,
+        # and poppable once the horizon moves past it.
+        assert len(q) == 1
+        assert q.peek_time() == 10.0
+        event = q.pop_until(20.0)
+        assert event is not None and event.time == 10.0
+        assert len(q) == 0
+
+    def test_skips_cancelled_before_horizon_check(self):
+        q = EventQueue()
+        early = q.push(1.0, lambda: None)
+        q.push(9.0, lambda: None)
+        q.cancel(early)
+        assert q.pop_until(5.0) is None
+        assert len(q) == 1
+        assert q.dead_entries == 0  # the cancelled entry was swept out
+
+    def test_empty_queue_returns_none(self):
+        assert EventQueue().pop_until(100.0) is None
+
+
+class TestCompaction:
+    def test_threshold_compaction_purges_dead_entries(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(2 * COMPACTION_MIN_DEAD)]
+        # Cancel just below both thresholds: nothing compacts yet.
+        for event in events[: COMPACTION_MIN_DEAD - 1]:
+            q.cancel(event)
+        assert q.dead_entries == COMPACTION_MIN_DEAD - 1
+        # One more cancel reaches the floor but dead <= live still holds.
+        q.cancel(events[COMPACTION_MIN_DEAD - 1])
+        assert q.dead_entries == COMPACTION_MIN_DEAD
+        # Cancel past the live count: compaction fires and sweeps all dead.
+        for event in events[COMPACTION_MIN_DEAD : COMPACTION_MIN_DEAD + 1]:
+            q.cancel(event)
+        assert q.dead_entries == 0
+        assert len(q) == COMPACTION_MIN_DEAD - 1
+
+    def test_ordering_preserved_across_compaction(self):
+        q = EventQueue()
+        keep = []
+        cancel = []
+        for i in range(4 * COMPACTION_MIN_DEAD):
+            event = q.push(float(i), lambda: None)
+            (keep if i % 4 == 0 else cancel).append(event)
+        for event in cancel:
+            q.cancel(event)
+        # Compaction fired at least once mid-way, so far fewer dead
+        # entries remain than were cancelled.
+        assert q.dead_entries < len(cancel) // 2
+        popped = []
+        while not q.empty():
+            popped.append(q.pop().time)
+        assert popped == sorted(e.time for e in keep)
+
+    def test_accounting_exact_under_churn(self):
+        # Interleave push/cancel/pop and check len()/peak_live at every
+        # step against a straightforward model.
+        q = EventQueue()
+        live = set()
+        peak = 0
+        for step in range(500):
+            event = q.push(float(step % 37), lambda: None)
+            live.add(event)
+            # peak_live is a push-time high-water mark, so sample the
+            # model's peak before this step's cancels/pops shrink it.
+            peak = max(peak, len(live))
+            if step % 3 == 0 and live:
+                victim = min(live, key=lambda e: e.sequence)
+                q.cancel(victim)
+                live.discard(victim)
+            if step % 5 == 0 and live:
+                popped = q.pop()
+                assert not popped.cancelled
+                live.discard(popped)
+            assert len(q) == len(live)
+        assert q.peak_live == peak
+        while not q.empty():
+            live.discard(q.pop())
+        assert not live
+        assert len(q) == 0
+
+    def test_cancel_after_pop_during_compaction_era(self):
+        # A popped-then-cancelled event must not be double-counted as a
+        # dead heap entry (it is no longer in the heap at all).
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(COMPACTION_MIN_DEAD)]
+        popped = q.pop()
+        q.cancel(popped)
+        assert q.dead_entries == 0
+        for event in events[1:]:
+            q.cancel(event)
+        # Exactly the 63 in-heap cancels count as dead — the popped one
+        # does not — so the 64-entry compaction floor is not reached.
+        assert q.dead_entries == COMPACTION_MIN_DEAD - 1
+        assert len(q) == 0

@@ -1,0 +1,36 @@
+"""Fixture: SL007 violations (non-tuple heap entries).
+
+Never imported — read from disk by the simlint tests.  Keep the line
+layout stable.
+"""
+
+import heapq
+from heapq import heappush
+
+
+def push_object(heap: list, event) -> None:
+    heapq.heappush(heap, event)                      # line 12: SL007
+
+
+def push_bare_name(heap: list, entry) -> None:
+    heappush(heap, entry)                            # line 16: SL007
+
+
+def replace_object(heap: list, event) -> None:
+    heapq.heapreplace(heap, event)                   # line 20: SL007
+
+
+def pushpop_call(heap: list, make_entry) -> None:
+    heapq.heappushpop(heap, make_entry())            # line 24: SL007
+
+
+def requeue(heap: list, entry) -> None:
+    heapq.heappush(heap, entry)  # simlint: ignore[SL007]
+
+
+def fine_tuple(heap: list, event) -> None:
+    heapq.heappush(heap, (event.time, event.priority, event.sequence, event))
+
+
+def fine_pop(heap: list):
+    return heapq.heappop(heap)

@@ -30,9 +30,9 @@ def lines_for(findings, rule):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert [rule.id for rule in RULES] == [
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
         ]
 
     def test_every_rule_documented(self):
@@ -165,6 +165,40 @@ class TestSL006Layering:
         source = "from repro.runtime import MonteCarloRunner\n"
         assert lint_source(source, module="repro.cli") == []
         assert lint_source(source, module="repro.analysis.report") == []
+
+
+class TestSL007NonTupleHeapEntry:
+    def test_exact_lines(self):
+        findings = fixture_findings("sl007_heap_entry.py")
+        assert {f.rule for f in findings} == {"SL007"}
+        assert lines_for(findings, "SL007") == [12, 16, 20, 24]
+
+    def test_suppressed_requeue_clean(self):
+        # The fixture's requeue function (the deliberate kernel idiom:
+        # push back an entry previously popped from the same heap)
+        # carries an ignore pragma and must not be reported.
+        findings = fixture_findings("sl007_heap_entry.py")
+        assert 28 not in lines_for(findings, "SL007")
+
+    def test_tuple_entries_clean(self):
+        source = (
+            "import heapq\n"
+            "def f(heap, ev):\n"
+            "    heapq.heappush(heap, (ev.time, ev.priority, 0, ev))\n"
+        )
+        assert lint_source(source) == []
+
+    def test_heappop_not_flagged(self):
+        source = "import heapq\ndef f(heap):\n    return heapq.heappop(heap)\n"
+        assert lint_source(source) == []
+
+    def test_aliased_import_resolved(self):
+        source = (
+            "import heapq as hq\n"
+            "def f(heap, ev):\n"
+            "    hq.heappush(heap, ev)\n"
+        )
+        assert lines_for(lint_source(source), "SL007") == [3]
 
 
 class TestCleanModule:

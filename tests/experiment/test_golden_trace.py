@@ -1,0 +1,110 @@
+"""Golden event-order equivalence: the optimized kernel vs the seed kernel.
+
+The fixtures under ``tests/experiment/golden/`` were captured from the
+pre-optimization kernel (see ``benchmarks/capture_golden.py``).  Each one
+pins the SHA-256 of the executed ``(time, priority, sequence, label)``
+stream plus the FiftyYearResult summary for one (scenario, seed) pair.
+
+These tests replay the same scenarios on the current kernel and demand
+bit-identical traces.  A single reordered event, perturbed timestamp, or
+shifted RNG draw flips the hash — this is the proof that the tuple-keyed
+heap, fused ``run_until`` loop, candidate-gateway cache, and lazy
+``hears()`` evaluation are pure optimizations, not behavior changes.
+
+If a future PR changes behavior *intentionally*, re-capture with::
+
+    PYTHONPATH=src python benchmarks/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiment.fifty_year import FiftyYearExperiment
+from repro.experiment.scenarios import SCENARIOS
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+CASES = [
+    ("owned-only", 2021),
+    ("owned-only", 4242),
+    ("as-designed", 2021),
+    ("as-designed", 4242),
+]
+
+
+def trace_line(event) -> bytes:
+    """Must match ``capture_golden.trace_line`` byte for byte."""
+    return f"{event.time!r}|{event.priority}|{event.sequence}|{event.label}\n".encode()
+
+
+class TraceDigest:
+    def __init__(self) -> None:
+        self.sha = hashlib.sha256()
+        self.count = 0
+        self.head = []
+        self.tail = []
+
+    def add(self, event) -> None:
+        line = trace_line(event)
+        self.sha.update(line)
+        self.count += 1
+        text = line.decode().rstrip("\n")
+        if len(self.head) < 5:
+            self.head.append(text)
+        self.tail.append(text)
+        if len(self.tail) > 5:
+            self.tail.pop(0)
+
+
+def summarize(result, sim) -> dict:
+    """Must mirror ``capture_golden.summarize`` exactly."""
+    arms = {}
+    for key, arm in result.arms.items():
+        arms[key] = {
+            "weekly_uptime": arm.weekly_uptime,
+            "longest_gap_weeks": arm.longest_gap_weeks,
+            "devices_alive_at_end": arm.devices_alive_at_end,
+            "delivered": arm.delivered,
+            "attempts": arm.attempts,
+        }
+    return {
+        "overall_uptime": result.overall.uptime,
+        "longest_gap_weeks": result.overall.longest_gap_weeks,
+        "arms": arms,
+        "gateway_replacements": result.gateway_replacements,
+        "device_touches": result.device_touches,
+        "wallet_spent": result.wallet.spent,
+        "wallet_balance": result.wallet.balance,
+        "wallet_refusals": result.wallet.refusals,
+        "maintenance_hours": result.maintenance.total_hours(),
+        "executed_events": sim.executed_events,
+        "log_records": len(sim.log),
+    }
+
+
+@pytest.mark.parametrize(
+    "scenario,seed", CASES, ids=[f"{s}-seed{n}" for s, n in CASES]
+)
+def test_golden_trace_equivalence(scenario: str, seed: int) -> None:
+    fixture_path = GOLDEN_DIR / f"{scenario}_seed{seed}.json"
+    fixture = json.loads(fixture_path.read_text())
+    assert fixture["version"] == 1
+
+    digest = TraceDigest()
+    config = SCENARIOS[scenario](seed)
+    experiment = FiftyYearExperiment(config)
+    experiment.sim.trace_executed = digest.add
+    result = experiment.run()
+
+    # Head/tail first: on mismatch these show *where* execution diverged
+    # instead of just "hash differs".
+    assert digest.head == fixture["trace_head"]
+    assert digest.tail == fixture["trace_tail"]
+    assert digest.count == fixture["trace_events"]
+    assert digest.sha.hexdigest() == fixture["trace_sha256"]
+    assert summarize(result, experiment.sim) == fixture["summary"]
