@@ -14,21 +14,30 @@ Works against either kernel generation:
   popped exactly once per executed event), which is how the committed
   baselines were produced from the seed tree.
 
+Every capture runs with the :class:`~repro.faults.InvariantAuditor`
+strict — a fixture cannot be produced from a run that violates a
+runtime invariant.  The auditor is read-only, so enabling it does not
+perturb a trace.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/capture_golden.py
+    PYTHONPATH=src python benchmarks/capture_golden.py            # 4 base cases
+    PYTHONPATH=src python benchmarks/capture_golden.py --faults   # + chaos case
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from pathlib import Path
 
 from repro.core.engine import Simulation
 from repro.core.events import EventQueue
 from repro.experiment.fifty_year import FiftyYearExperiment
 from repro.experiment.scenarios import SCENARIOS
+from repro.faults import InvariantAuditor
+from repro.faults.plans import pinned_chaos_plan
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "experiment" / "golden"
 
@@ -41,6 +50,12 @@ CASES = [
     ("as-designed", 2021),
     ("as-designed", 4242),
 ]
+
+#: The chaos case (``--faults``): as-designed wounded by the pinned
+#: ten-fault plan.  The fixture stem carries a ``-faults`` marker so it
+#: cannot collide with an unwounded capture of the same scenario.
+FAULT_SEED = 2021
+FAULT_STEM = "as-designed-faults"
 
 
 def trace_line(event) -> bytes:
@@ -69,14 +84,18 @@ class TraceDigest:
             self.tail.pop(0)
 
 
-def run_traced(scenario: str, seed: int):
+def run_traced(scenario: str, seed: int, faults=None):
     """Run one scenario with execution tracing; returns (digest, result, sim)."""
     digest = TraceDigest()
     config = SCENARIOS[scenario](seed)
     experiment = FiftyYearExperiment(config)
+    if faults is not None:
+        experiment.sim.install_faults(faults)
     if hasattr(experiment.sim, "trace_executed"):
         experiment.sim.trace_executed = digest.add
+        auditor = InvariantAuditor(experiment.sim, strict=True).install()
         result = experiment.run()
+        auditor.check_now()
     else:  # pre-optimization kernel: one pop per executed event
         original_pop = EventQueue.pop
 
@@ -119,9 +138,9 @@ def summarize(result, sim: Simulation) -> dict:
     }
 
 
-def capture(scenario: str, seed: int) -> dict:
-    digest, result, sim = run_traced(scenario, seed)
-    return {
+def capture(scenario: str, seed: int, faults=None) -> dict:
+    digest, result, sim = run_traced(scenario, seed, faults=faults)
+    fixture = {
         "version": 1,
         "scenario": scenario,
         "seed": seed,
@@ -131,13 +150,34 @@ def capture(scenario: str, seed: int) -> dict:
         "trace_tail": digest.tail,
         "summary": summarize(result, sim),
     }
+    if faults is not None:
+        controller = sim.fault_controller
+        fixture["faults"] = {
+            "plan": faults.name,
+            "specs": len(faults),
+            "injected": controller.injected,
+            "fired": controller.fired,
+        }
+    return fixture
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    with_faults = "--faults" in argv
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for scenario, seed in CASES:
-        fixture = capture(scenario, seed)
-        path = GOLDEN_DIR / f"{scenario}_seed{seed}.json"
+    jobs = [(scenario, seed, None, f"{scenario}_seed{seed}") for scenario, seed in CASES]
+    if with_faults:
+        jobs.append(
+            (
+                "as-designed",
+                FAULT_SEED,
+                pinned_chaos_plan(),
+                f"{FAULT_STEM}_seed{FAULT_SEED}",
+            )
+        )
+    for scenario, seed, plan, stem in jobs:
+        fixture = capture(scenario, seed, faults=plan)
+        path = GOLDEN_DIR / f"{stem}.json"
         path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
         print(
             f"{path.name}: {fixture['trace_events']} events, "

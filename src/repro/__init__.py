@@ -29,6 +29,7 @@ Subpackages
 ``city``          asset inventories, rollouts, Seoul workload
 ``analysis``      AS concentration, uptime, metrics, diary
 ``experiment``    the §4 fifty-year experiment and scenarios
+``faults``        deterministic fault injection + invariant auditing
 ``runtime``       deterministic parallel Monte-Carlo execution
 """
 
@@ -41,6 +42,7 @@ from . import (
     econ,
     energy,
     experiment,
+    faults,
     net,
     obsolescence,
     radio,
@@ -55,6 +57,7 @@ __all__ = [
     "econ",
     "energy",
     "experiment",
+    "faults",
     "net",
     "obsolescence",
     "radio",

@@ -5,6 +5,7 @@ Exposes the most-used entry points without writing Python::
     python -m repro scenarios                 # list canned scenarios
     python -m repro run as-designed --years 10 --seed 7
     python -m repro mc as-designed --runs 10 --workers 4
+    python -m repro mc as-designed --faults plan.json --audit
     python -m repro quote --years 50 --per-hour 1
     python -m repro tco --gateways 100 --horizon 50
     python -m repro la                        # the §1 labor arithmetic
@@ -38,6 +39,19 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_plan(path: Optional[str]):
+    """Load ``--faults PATH``; exits with code 2 on a malformed plan."""
+    if path is None:
+        return None
+    from .faults import FaultPlanError, load_plan
+
+    try:
+        return load_plan(path)
+    except (OSError, FaultPlanError) as exc:
+        print(f"cannot load fault plan: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiment import SCENARIOS
 
@@ -49,6 +63,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     from dataclasses import replace
 
+    plan = _load_fault_plan(args.faults)
     config = SCENARIOS[args.scenario](args.seed)
     config = replace(
         config,
@@ -57,13 +72,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     from .experiment import FiftyYearExperiment
 
-    result = FiftyYearExperiment(config).run()
+    experiment = FiftyYearExperiment(config)
+    controller = None
+    if plan is not None:
+        controller = experiment.sim.install_faults(plan)
+    auditor = None
+    if args.audit:
+        from .faults import InvariantAuditor
+
+        auditor = InvariantAuditor(experiment.sim, strict=False).install()
+    result = experiment.run()
     for line in result.summary_lines():
         print(line)
+    if controller is not None:
+        summary = controller.summary()
+        print(
+            f"faults ({plan.name}): {summary['fired']} fired of "
+            f"{summary['injected']} injected, {summary['specs']} specs"
+        )
+    if auditor is not None:
+        auditor.check_now()
+        print(f"invariant violations: {len(auditor.violations)}")
+        for violation in auditor.violations:
+            print(f"  {violation}")
     if args.diary:
         print()
         print(result.diary.render())
-    return 0
+    return 0 if auditor is None or not auditor.violations else 1
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
@@ -85,10 +120,13 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         print("--workers must be >= 0 (0 = one per CPU)", file=sys.stderr)
         return 2
     workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    plan = _load_fault_plan(args.faults)
     task = ScenarioTask(
         scenario=args.scenario,
         horizon=units.years(args.years),
         report_interval=units.days(args.report_days),
+        faults=plan,
+        audit=args.audit,
     )
     study = MonteCarloRunner(
         task, runs=args.runs, base_seed=args.base_seed, workers=workers
@@ -96,13 +134,20 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     for line in study.summary_lines():
         print(line)
     if args.per_run:
-        print(f"{'run':>4} {'uptime':>8} {'events':>10} {'peak-q':>7} {'secs':>7}")
+        with_faults = plan is not None or args.audit
+        print(
+            f"{'run':>4} {'uptime':>8} {'events':>10} {'peak-q':>7} {'secs':>7}"
+            + (f" {'faults':>7} {'viols':>6}" if with_faults else "")
+        )
         for run in study.runs:
-            print(
+            line = (
                 f"{run.index:>4} {run.sample:>8.4f} {run.events_executed:>10,} "
                 f"{run.peak_pending_events:>7,} {run.wall_clock_s:>7.2f}"
             )
-    return 0
+            if with_faults:
+                line += f" {run.faults_fired:>7} {run.invariant_violations:>6}"
+            print(line)
+    return 0 if not (args.audit and study.total_invariant_violations) else 1
 
 
 def _cmd_quote(args: argparse.Namespace) -> int:
@@ -202,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report-days", type=float, default=1.0,
                      help="device reporting cadence in days")
     run.add_argument("--diary", action="store_true", help="print the diary")
+    run.add_argument("--faults", metavar="PLAN.json", default=None,
+                     help="install a JSON fault plan before the run")
+    run.add_argument("--audit", action="store_true",
+                     help="run the invariant auditor (exit 1 on violations)")
 
     mc = sub.add_parser(
         "mc", help="parallel Monte-Carlo uptime study over independent seeds"
@@ -216,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="device reporting cadence in days")
     mc.add_argument("--per-run", action="store_true",
                     help="print the per-run observability table")
+    mc.add_argument("--faults", metavar="PLAN.json", default=None,
+                    help="install a JSON fault plan in every run")
+    mc.add_argument("--audit", action="store_true",
+                    help="audit every run (exit 1 on any violation)")
 
     quote = sub.add_parser("quote", help="prepaid data-credit quote (§4.4)")
     quote.add_argument("--years", type=float, default=50.0)

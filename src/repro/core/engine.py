@@ -105,10 +105,38 @@ class Simulation:
         #: before its callback runs — the golden-trace tests use it to
         #: pin the exact execution order.  Must not mutate the event.
         self.trace_executed: Optional[Callable[[Event], None]] = None
+        #: Optional hook called (with no arguments) after each executed
+        #: event — :class:`repro.faults.InvariantAuditor` uses it to run
+        #: always-on runtime checks.  Must not schedule events or draw
+        #: randomness, so enabling it never perturbs a trace.
+        self.audit_hook: Optional[Callable[[], None]] = None
+        #: Every entity ever constructed against this simulation, in
+        #: construction order (see :meth:`register_entity`).  Fault
+        #: selectors and the invariant auditor scan this registry.
+        self.entities: List[Any] = []
+        #: Named non-entity targets (e.g. the prepaid data-credit
+        #: wallet) that fault specs may act on.  Populated by experiment
+        #: builders; absent keys make the corresponding fault a no-op.
+        self.resources: Dict[str, Any] = {}
+        #: The fault controller, set by :meth:`install_faults`.
+        #: Maintenance paths consult it for no-show suppression windows.
+        self.fault_controller: Optional[Any] = None
         self._log_index: Dict[str, List[LogRecord]] = {}
         self._entity_id = 0
         self._executed = 0
         self._stopped = False
+
+    def register_entity(self, entity: Any) -> None:
+        """Add ``entity`` to this run's registry (called by Entity.__init__)."""
+        self.entities.append(entity)
+
+    def install_faults(self, plan: Any) -> Any:
+        """Install a :class:`repro.faults.FaultPlan`; returns the controller.
+
+        May be called more than once — later plans extend the same
+        controller, so composed plans share one fault event stream.
+        """
+        return plan.install(self)
 
     def next_entity_id(self) -> int:
         """Allocate the next auto-naming id for this run's entities.
@@ -191,6 +219,8 @@ class Simulation:
             self.trace_executed(event)
         event.callback()
         self._executed += 1
+        if self.audit_hook is not None:
+            self.audit_hook()
         return True
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
@@ -221,6 +251,8 @@ class Simulation:
                 self.trace_executed(event)
             event.callback()
             self._executed += 1
+            if self.audit_hook is not None:
+                self.audit_hook()
             executed += 1
             if max_events is not None and executed >= max_events:
                 raise SimulationError(

@@ -61,6 +61,12 @@ class Entity:
         self.depends_on: List["Entity"] = []
         self.dependents: List["Entity"] = []
         self.tags: Dict[str, str] = {}
+        #: Count of active forced service degradations (fault injection).
+        #: Nonzero means the entity is alive but refuses service; see
+        #: :meth:`force_degrade`.  A counter, not a flag, so overlapping
+        #: degrade windows compose (each restore undoes one degrade).
+        self.forced_degradations: int = 0
+        sim.register_entity(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -100,6 +106,36 @@ class Entity:
 
     def on_end(self, reason: str) -> None:
         """Hook for subclasses; runs after FAILED/RETIRED transition."""
+
+    # ------------------------------------------------------------------
+    # Forced degradation (fault injection)
+    # ------------------------------------------------------------------
+    def force_degrade(self, reason: str = "") -> None:
+        """Suspend service without killing the entity (injected fault).
+
+        The entity stays ACTIVE — its failure clocks, renewal processes,
+        and churn timers keep running — but service checks
+        (:meth:`Gateway.hears`, :meth:`Backhaul.carries_traffic`,
+        :meth:`CloudEndpoint.accepting`, the device duty cycle) refuse
+        while any degradation is in force.  Degradations stack; each
+        :meth:`restore_degrade` lifts one.
+        """
+        self.forced_degradations += 1
+        self.sim.topology_version += 1
+        self.sim.record("degrade", self.name, tier=self.TIER, reason=reason)
+
+    def restore_degrade(self, reason: str = "") -> None:
+        """Lift one forced degradation (no-op if none are in force)."""
+        if self.forced_degradations <= 0:
+            return
+        self.forced_degradations -= 1
+        self.sim.topology_version += 1
+        self.sim.record("restore", self.name, tier=self.TIER, reason=reason)
+
+    @property
+    def degraded(self) -> bool:
+        """True while at least one forced degradation is in force."""
+        return self.forced_degradations > 0
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,4 +1,4 @@
-"""The simlint rule registry and the seven shipped rules.
+"""The simlint rule registry and the eight shipped rules.
 
 Each rule guards one determinism or hygiene invariant of the simulator
 (see DESIGN.md "simlint" for the full rationale).  Rules are plain
@@ -27,6 +27,7 @@ SIM_LAYERS = frozenset(
         "econ",
         "city",
         "experiment",
+        "faults",
     }
 )
 
@@ -587,6 +588,73 @@ class NonTupleHeapEntry(Rule):
                     "literal; push an explicit (time, priority, seq, payload) "
                     "key so ordering never falls back to payload comparison",
                 )
+
+
+# ----------------------------------------------------------------------
+# SL008 — fault code must draw randomness via RandomStreams
+# ----------------------------------------------------------------------
+
+@register
+class FaultRandomnessOutsideStreams(Rule):
+    """Fault scheduling and targeting may only draw from named
+    ``RandomStreams`` generators — that is the whole bit-reproducibility
+    contract of ``repro.faults`` (plan + seed identical at any worker
+    count, plans composing commutatively)."""
+
+    id = "SL008"
+    title = "fault code draws randomness outside RandomStreams"
+    rationale = (
+        "repro.faults promises that a plan + seed is bit-reproducible at "
+        "any worker count and that disjoint plans compose commutatively; "
+        "both hold only because every draw comes from a stream named by "
+        "the spec's content key.  A draw from any other generator (or a "
+        "shared simulation stream) silently re-couples fault targeting to "
+        "install order and run layout."
+    )
+
+    #: numpy Generator sampling methods a fault could plausibly reach for.
+    DRAW_METHODS = frozenset(
+        {"random", "integers", "choice", "shuffle", "permutation", "uniform",
+         "normal", "standard_normal", "exponential", "poisson", "binomial",
+         "weibull", "lognormal", "gamma", "beta"}
+    )
+    #: Producers whose return value is a RandomStreams-derived generator.
+    STREAM_PRODUCERS = frozenset({"rng", "stream_for", "get", "fork"})
+
+    def _stream_derived(self, node: ast.AST) -> bool:
+        """True if ``node`` plausibly evaluates to a RandomStreams
+        generator: an identifier ending in ``rng``/``stream``, or a
+        direct call to a stream producer (``sim.rng("…")``,
+        ``controller.stream_for(spec)``, ``streams.get(name)``)."""
+        name = terminal_identifier(node)
+        if name is not None:
+            lowered = name.lower()
+            return lowered.endswith("rng") or lowered.endswith("stream")
+        if isinstance(node, ast.Call):
+            producer = terminal_identifier(node.func)
+            return producer in self.STREAM_PRODUCERS
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module = ctx.module or ""
+        if module != "repro.faults" and not module.startswith("repro.faults."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in self.DRAW_METHODS:
+                continue
+            if self._stream_derived(node.func.value):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"draw {ast.unparse(node.func)!r} does not come from a "
+                "RandomStreams generator; use controller.stream_for(spec) "
+                "(or sim.rng('faults:…')) so plan+seed stays bit-reproducible",
+            )
 
 
 def catalog() -> Sequence[Tuple[str, str, str]]:

@@ -310,6 +310,24 @@ class FiftyYearExperiment:
         position = gateway.position
 
         def replace() -> None:
+            controller = self.sim.fault_controller
+            if controller is not None and controller.maintenance_suppressed(
+                self.sim.now
+            ):
+                # Injected maintenance no-show: nobody answers the pager.
+                # The visit is deferred to the window's end, and the
+                # missed appointment goes in the public diary.
+                resume_at = controller.suppression_ends(self.sim.now)
+                self.diary.note(
+                    self.sim.now,
+                    "incident",
+                    f"maintenance no-show: replacement of {gateway.name} "
+                    f"deferred",
+                )
+                self.sim.call_at(
+                    resume_at, replace, label=f"replace-deferred:{gateway.name}"
+                )
+                return
             from ..net.commissioning import commission_replacement
 
             successor = self._deploy_owned_gateway(position)
@@ -359,6 +377,11 @@ class FiftyYearExperiment:
             ),
             wallet=wallet,
         )
+        # Expose the non-entity fault targets: WalletDrain acts on
+        # ``resources["wallet"]`` and the invariant auditor cross-checks
+        # the Helium live-hotspot cache through ``resources["helium"]``.
+        self.sim.resources["wallet"] = wallet
+        self.sim.resources["helium"] = self.helium
         if config.n_lora_devices <= 0:
             return
         lora = LoRaParameters(spreading_factor=10)

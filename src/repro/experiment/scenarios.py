@@ -110,6 +110,8 @@ def monte_carlo_uptime(
     horizon: float = units.years(50.0),
     report_interval: Optional[float] = None,
     workers: int = 1,
+    faults=None,
+    audit: bool = False,
 ) -> MonteCarloUptime:
     """Overall weekly uptime across independent seeds of one scenario.
 
@@ -120,7 +122,9 @@ def monte_carlo_uptime(
     Runs execute on :class:`repro.runtime.MonteCarloRunner`: per-run
     seeds come from the fork lineage of ``base_seed``, and ``workers``
     fans runs across processes without changing the result — any worker
-    count yields bit-identical statistics.
+    count yields bit-identical statistics.  ``faults`` (an optional
+    :class:`~repro.faults.FaultPlan`) is injected identically into every
+    run; ``audit=True`` attaches the invariant auditor in collect mode.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -132,7 +136,11 @@ def monte_carlo_uptime(
     from ..runtime import MonteCarloRunner, ScenarioTask  # simlint: ignore[SL006]
 
     task = ScenarioTask(
-        scenario=name, horizon=horizon, report_interval=report_interval
+        scenario=name,
+        horizon=horizon,
+        report_interval=report_interval,
+        faults=faults,
+        audit=audit,
     )
     runner = MonteCarloRunner(
         task, runs=runs, base_seed=base_seed, workers=workers

@@ -1,0 +1,63 @@
+"""Deterministic fault injection and always-on invariant auditing.
+
+Two halves:
+
+* **Injection** — declare a :class:`FaultPlan` of typed
+  :class:`FaultSpec` entries (kills, degrades, flaps, churn bursts,
+  wallet drains, maintenance no-shows, custodian lapses), target them
+  with :class:`Selector`, and install against any simulation via
+  ``sim.install_faults(plan)``.  All randomized targeting draws from
+  content-named :class:`~repro.core.rng.RandomStreams`, so a plan plus
+  a seed is bit-reproducible at any worker count and disjoint plans
+  compose commutatively.
+* **Auditing** — :class:`InvariantAuditor` re-checks queue accounting,
+  energy bounds, per-link conservation, delivery reality, cache
+  coherence, and monotonicity while the run executes, raising (or
+  collecting) structured :class:`InvariantViolation`\\ s.
+
+This package depends only on :mod:`repro.core` (specs act on entities
+by tier/duck-type, never by importing the net layer), so any scenario —
+including test-local topologies — can be wounded or audited.
+"""
+
+from .auditor import InvariantAuditor, InvariantViolation, InvariantViolationError
+from .plan import (
+    PLAN_FORMAT_VERSION,
+    FaultController,
+    FaultPlan,
+    FaultPlanError,
+    load_plan,
+)
+from .plans import pinned_chaos_plan
+from .spec import (
+    CustodianLapse,
+    DegradeFault,
+    FaultSpec,
+    FlapFault,
+    HotspotChurnBurst,
+    KillFault,
+    MaintenanceNoShow,
+    Selector,
+    WalletDrain,
+)
+
+__all__ = [
+    "CustodianLapse",
+    "DegradeFault",
+    "FaultController",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "FlapFault",
+    "HotspotChurnBurst",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "KillFault",
+    "MaintenanceNoShow",
+    "PLAN_FORMAT_VERSION",
+    "Selector",
+    "WalletDrain",
+    "load_plan",
+    "pinned_chaos_plan",
+]

@@ -1,0 +1,83 @@
+"""Canonical fault plans shipped with the repo.
+
+:func:`pinned_chaos_plan` is the ten-fault plan pinned by the fifth
+golden fixture (``tests/experiment/golden/as-designed-faults_seed2021.json``)
+and exercised by the CI chaos job.  Its content is part of the repo's
+reproducibility surface: editing a spec here changes the fixture's
+trace hash, so regenerate the fixture (``benchmarks/capture_golden.py
+--faults``) in the same change.
+"""
+
+from __future__ import annotations
+
+from ..core import units
+from .plan import FaultPlan
+from .spec import (
+    CustodianLapse,
+    DegradeFault,
+    FlapFault,
+    HotspotChurnBurst,
+    KillFault,
+    MaintenanceNoShow,
+    Selector,
+    WalletDrain,
+)
+
+
+def pinned_chaos_plan() -> FaultPlan:
+    """Ten faults across every tier of the fifty-year experiment.
+
+    One of each interesting kind, spread over the horizon so each fault
+    lands on a system already shaped by the previous ones: backhaul
+    degrade, owned-gateway kill, hotspot churn burst, wallet drain,
+    custodian lapse, radio-link flap, a two-year maintenance no-show,
+    a blast-radius backhaul kill, a cloud brown-out, and a final
+    hotspot cull.
+    """
+    return FaultPlan(
+        name="ten-fault-chaos",
+        specs=(
+            DegradeFault(
+                at=units.years(2.0),
+                select=Selector.by_name("campus-net"),
+                duration=units.days(60.0),
+            ),
+            KillFault(
+                at=units.years(5.0),
+                select=Selector.k_random(
+                    1, tier="gateway", where=(("technology", "802.15.4"),)
+                ),
+                reason="lightning-strike",
+            ),
+            HotspotChurnBurst(at=units.years(8.0), k=6),
+            WalletDrain(at=units.years(12.0), fraction=0.5),
+            CustodianLapse(at=units.years(15.0), duration=units.days(90.0)),
+            FlapFault(
+                at=units.years(18.0),
+                select=Selector.by_tier(
+                    "gateway", where=(("technology", "802.15.4"),)
+                ),
+                down=units.days(7.0),
+                up=units.days(21.0),
+                cycles=4,
+            ),
+            MaintenanceNoShow(at=units.years(20.0), duration=units.years(2.0)),
+            KillFault(
+                at=units.years(25.0),
+                select=Selector.blast_radius(1, tier="backhaul"),
+                reason="fiber-cut",
+            ),
+            DegradeFault(
+                at=units.years(30.0),
+                select=Selector.by_tier("cloud"),
+                duration=units.days(30.0),
+            ),
+            KillFault(
+                at=units.years(35.0),
+                select=Selector.k_random(
+                    2, tier="gateway", where=(("technology", "lora"),)
+                ),
+                reason="firmware-brick",
+            ),
+        ),
+    )

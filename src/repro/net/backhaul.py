@@ -93,8 +93,13 @@ class Backhaul(Entity):
         self._schedule_next_outage()
 
     def carries_traffic(self) -> bool:
-        """True if a packet offered right now would get through."""
-        return self.alive and self.up
+        """True if a packet offered right now would get through.
+
+        Injected degrade windows (:meth:`Entity.force_degrade`) overlay
+        the natural outage process rather than toggling ``up``, so they
+        compose with — and never corrupt — the renewal bookkeeping.
+        """
+        return self.alive and self.up and self.forced_degradations == 0
 
     def annual_cost_usd(self) -> float:
         """Recurring cost per year; subclasses override."""

@@ -81,7 +81,7 @@ class CloudEndpoint(Entity):
 
     def accepting(self) -> bool:
         """True if a delivery offered right now would be recorded publicly."""
-        return self.alive and self.domain_up
+        return self.alive and self.domain_up and self.forced_degradations == 0
 
     def deliver(self, packet: Packet, via_gateway: str, via_backhaul: str) -> bool:
         """Record an arriving packet.  Returns False if the endpoint is dark."""

@@ -184,8 +184,8 @@ class EdgeDevice(Entity):
         return gateways
 
     def _report(self) -> None:
-        if not self.alive:
-            return
+        if not self.alive or self.forced_degradations:
+            return  # dead, or muted by an injected degrade window
         self.attempts += 1
         if not self._pay_energy():
             self.energy_denied += 1

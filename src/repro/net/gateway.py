@@ -74,7 +74,7 @@ class Gateway(Entity):
         list), every report, for fifty simulated years — keep it O(1)
         and side-effect free.
         """
-        return self.alive
+        return self.alive and self.forced_degradations == 0
 
     def receive(self, packet: Packet) -> bool:
         """Accept a radio-decoded packet and forward it to the backend.

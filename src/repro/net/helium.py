@@ -71,6 +71,7 @@ class DataCreditWallet:
     provisioned_usd: float = 0.0
     spent: int = 0
     refusals: int = 0
+    drained: int = 0
 
     def provision(self, credits: int) -> float:
         """Buy ``credits``; returns the USD cost at the fixed price."""
@@ -91,6 +92,27 @@ class DataCreditWallet:
         self.balance -= credits
         self.spent += credits
         return True
+
+    def drain(self, credits: Optional[int] = None, fraction: Optional[float] = None) -> int:
+        """Remove credits without buying service (injected fault).
+
+        Models a lost key, a billing reversal, or an account compromise:
+        the balance drops but nothing was ``spent`` on packets.  Exactly
+        one of ``credits``/``fraction`` must be given.  Returns the
+        credits actually removed (clamped to the balance).
+        """
+        if (credits is None) == (fraction is None):
+            raise ValueError("give exactly one of credits= or fraction=")
+        if fraction is not None:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+            credits = int(self.balance * fraction)
+        if credits < 0:
+            raise ValueError(f"credits must be non-negative, got {credits}")
+        removed = min(credits, self.balance)
+        self.balance -= removed
+        self.drained += removed
+        return removed
 
     def years_remaining(self, interval_s: float, credits_per_packet: int = 1) -> float:
         """Runway at the given reporting schedule."""

@@ -147,6 +147,18 @@ class RenewalProcess:
     def _replace(self, failed_at: float, failed_name: str) -> None:
         if self.stopped:
             return
+        controller = self.sim.fault_controller
+        if controller is not None and controller.maintenance_suppressed(
+            self.sim.now
+        ):
+            # Injected maintenance no-show window: the visit slips to
+            # the window's end rather than silently executing.
+            self.sim.call_at(
+                controller.suppression_ends(self.sim.now),
+                lambda: self._replace(failed_at, failed_name),
+                label=f"replace:{failed_name}",
+            )
+            return
         successor = self.entity_factory()
         if successor.deployed_at is None:
             successor.deploy()

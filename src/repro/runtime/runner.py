@@ -34,6 +34,7 @@ from typing import Callable, List, Optional, Tuple, Union
 from ..analysis.uptime import MonteCarloUptime
 from ..core import units
 from ..core.rng import RandomStreams
+from ..faults import FaultPlan, InvariantAuditor
 
 #: A unit of Monte-Carlo work: ``task(index, seed)``.  Must be picklable
 #: (a module-level function or a frozen dataclass like ScenarioTask) for
@@ -68,6 +69,17 @@ class RunResult:
     wall_clock_s: float = 0.0
     events_executed: int = 0
     peak_pending_events: int = 0
+    #: Fault-injection accounting (zero unless the task carried a plan).
+    faults_injected: int = 0
+    faults_fired: int = 0
+    #: The executed fault event stream — ``(time, spec key, action,
+    #: target names)`` tuples in execution order.  Crossing process
+    #: boundaries intact is the point: the property suite asserts this
+    #: stream is bit-identical at any worker count.
+    fault_stream: Tuple[Tuple[float, str, str, Tuple[str, ...]], ...] = ()
+    #: Invariant violations collected by the run's auditor (0 when
+    #: auditing was off *or* the run was clean; see the task's flag).
+    invariant_violations: int = 0
     #: Full experiment result, present only when the task keeps it.
     detail: object = field(default=None, compare=False)
 
@@ -93,6 +105,21 @@ class MonteCarloStudy:
         """Largest pending-queue high-water mark seen by any run."""
         return max((r.peak_pending_events for r in self.runs), default=0)
 
+    @property
+    def total_faults_injected(self) -> int:
+        """Fault events scheduled across all runs."""
+        return sum(r.faults_injected for r in self.runs)
+
+    @property
+    def total_faults_fired(self) -> int:
+        """Fault actions that actually executed across all runs."""
+        return sum(r.faults_fired for r in self.runs)
+
+    @property
+    def total_invariant_violations(self) -> int:
+        """Invariant violations collected across all runs."""
+        return sum(r.invariant_violations for r in self.runs)
+
     def summary_lines(self) -> List[str]:
         """Headline rows for CLI / benchmark output."""
         agg = self.uptime
@@ -104,6 +131,12 @@ class MonteCarloStudy:
             f"events: {self.total_events:,} executed, "
             f"peak pending queue {self.peak_pending_events:,}",
         ]
+        if self.total_faults_injected or self.total_invariant_violations:
+            lines.append(
+                f"faults: {self.total_faults_fired} fired of "
+                f"{self.total_faults_injected} injected; "
+                f"invariant violations: {self.total_invariant_violations}"
+            )
         return lines
 
 
@@ -116,6 +149,14 @@ class ScenarioTask:
     (tuples, unlike dicts, keep the dataclass hashable/frozen).  With
     ``keep_result=True`` the full :class:`FiftyYearResult` rides along
     in :attr:`RunResult.detail` — it is small and picklable.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan` installed
+    before the run; ``audit=True`` attaches an
+    :class:`~repro.faults.InvariantAuditor` in collect mode (one bad run
+    should be *reported* in its RunResult, not abort a whole study) and
+    sweeps once more at the horizon.  Both are plain frozen dataclass
+    payloads, so the task pickles unchanged and every worker injects the
+    identical plan.
     """
 
     scenario: str
@@ -123,6 +164,9 @@ class ScenarioTask:
     report_interval: Optional[float] = None
     overrides: Tuple[Tuple[str, object], ...] = ()
     keep_result: bool = False
+    faults: Optional[FaultPlan] = None
+    audit: bool = False
+    audit_every: int = 2500
 
     def __call__(self, index: int, seed: int) -> RunResult:
         # Imported lazily: repro.experiment itself builds on repro.runtime.
@@ -137,7 +181,17 @@ class ScenarioTask:
         if self.overrides:
             config = replace(config, **dict(self.overrides))
         experiment = FiftyYearExperiment(config)
+        controller = None
+        if self.faults is not None:
+            controller = experiment.sim.install_faults(self.faults)
+        auditor = None
+        if self.audit:
+            auditor = InvariantAuditor(
+                experiment.sim, every=self.audit_every, strict=False
+            ).install()
         result = experiment.run()
+        if auditor is not None:
+            auditor.check_now()
         return RunResult(
             index=index,
             seed=seed,
@@ -145,6 +199,14 @@ class ScenarioTask:
             wall_clock_s=time.perf_counter() - started,
             events_executed=experiment.sim.executed_events,
             peak_pending_events=experiment.sim.peak_pending_events,
+            faults_injected=controller.injected if controller is not None else 0,
+            faults_fired=controller.fired if controller is not None else 0,
+            fault_stream=(
+                controller.stream_tuple() if controller is not None else ()
+            ),
+            invariant_violations=(
+                len(auditor.violations) if auditor is not None else 0
+            ),
             detail=result if self.keep_result else None,
         )
 

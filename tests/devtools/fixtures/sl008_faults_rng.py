@@ -1,0 +1,39 @@
+"""Fixture: SL008 violations (fault code drawing outside RandomStreams).
+
+Never imported — read from disk by the simlint tests with a
+``repro.faults.*`` module name.  Keep the line layout stable.
+"""
+
+import numpy as np
+
+
+def pick_target(pool, generator) -> int:
+    return int(generator.choice(len(pool)))          # line 11: SL008
+
+
+def jitter(spec, clock) -> float:
+    return float(clock.normal(0.0, 1.0))             # line 15: SL008
+
+
+def burst_size(model) -> int:
+    return int(model.poisson(3.0))                   # line 19: SL008
+
+
+def fine_named_stream(pool, rng) -> int:
+    return int(rng.choice(len(pool)))
+
+
+def fine_controller_stream(pool, controller, spec) -> int:
+    return int(controller.stream_for(spec).choice(len(pool)))
+
+
+def fine_sim_stream(pool, sim) -> int:
+    return int(sim.rng("faults:x").integers(0, len(pool)))
+
+
+def fine_suffixed(pool, fault_rng) -> int:
+    return int(fault_rng.integers(0, len(pool)))
+
+
+def fine_unrelated_method(entries) -> list:
+    return sorted(np.unique(entries))

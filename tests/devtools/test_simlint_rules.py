@@ -30,9 +30,10 @@ def lines_for(findings, rule):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert [rule.id for rule in RULES] == [
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+            "SL008",
         ]
 
     def test_every_rule_documented(self):
@@ -199,6 +200,39 @@ class TestSL007NonTupleHeapEntry:
             "    hq.heappush(heap, ev)\n"
         )
         assert lines_for(lint_source(source), "SL007") == [3]
+
+
+class TestSL008FaultRandomness:
+    def test_exact_lines(self):
+        findings = fixture_findings(
+            "sl008_faults_rng.py", module="repro.faults.sl008_faults_rng"
+        )
+        assert {f.rule for f in findings} == {"SL008"}
+        assert lines_for(findings, "SL008") == [11, 15, 19]
+
+    def test_rule_scoped_to_faults_package(self):
+        # The identical source outside repro.faults is out of scope.
+        path = FIXTURES / "sl008_faults_rng.py"
+        source = path.read_text()
+        assert lint_source(source, module="repro.net.helium") == []
+        assert lint_source(source, module="faults_utils") == []
+
+    def test_stream_producers_allowed(self):
+        source = (
+            "def f(sim, controller, spec, pool):\n"
+            "    a = sim.rng('faults:k').choice(len(pool))\n"
+            "    b = controller.stream_for(spec).integers(0, 4)\n"
+            "    c = sim.streams.get('faults:k').random()\n"
+            "    return a, b, c\n"
+        )
+        assert lint_source(source, module="repro.faults.spec") == []
+
+    def test_shared_stream_receiver_flagged(self):
+        # Drawing from an object that is not visibly a stream or a
+        # stream-producer call is exactly the bug class SL008 exists for.
+        source = "def f(model):\n    return model.exponential(2.0)\n"
+        findings = lint_source(source, module="repro.faults.spec")
+        assert lines_for(findings, "SL008") == [2]
 
 
 class TestCleanModule:

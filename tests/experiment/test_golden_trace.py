@@ -6,14 +6,20 @@ pins the SHA-256 of the executed ``(time, priority, sequence, label)``
 stream plus the FiftyYearResult summary for one (scenario, seed) pair.
 
 These tests replay the same scenarios on the current kernel and demand
-bit-identical traces.  A single reordered event, perturbed timestamp, or
+bit-identical traces.  Every replay runs with a *strict*
+:class:`~repro.faults.InvariantAuditor` attached: the auditor is
+read-only, so the pre-auditor hashes must still hold — and any runtime
+invariant violation fails the case with entity and sim-time attached.
+The ``as-designed-faults`` case additionally installs the pinned
+ten-fault chaos plan (:func:`repro.faults.plans.pinned_chaos_plan`),
+pinning the wounded trace and the executed fault stream counts.  A single reordered event, perturbed timestamp, or
 shifted RNG draw flips the hash — this is the proof that the tuple-keyed
 heap, fused ``run_until`` loop, candidate-gateway cache, and lazy
 ``hears()`` evaluation are pure optimizations, not behavior changes.
 
 If a future PR changes behavior *intentionally*, re-capture with::
 
-    PYTHONPATH=src python benchmarks/capture_golden.py
+    PYTHONPATH=src python benchmarks/capture_golden.py --faults
 """
 
 from __future__ import annotations
@@ -26,14 +32,18 @@ import pytest
 
 from repro.experiment.fifty_year import FiftyYearExperiment
 from repro.experiment.scenarios import SCENARIOS
+from repro.faults import InvariantAuditor
+from repro.faults.plans import pinned_chaos_plan
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
+#: (fixture stem, scenario, seed, plan factory or None).
 CASES = [
-    ("owned-only", 2021),
-    ("owned-only", 4242),
-    ("as-designed", 2021),
-    ("as-designed", 4242),
+    ("owned-only_seed2021", "owned-only", 2021, None),
+    ("owned-only_seed4242", "owned-only", 4242, None),
+    ("as-designed_seed2021", "as-designed", 2021, None),
+    ("as-designed_seed4242", "as-designed", 4242, None),
+    ("as-designed-faults_seed2021", "as-designed", 2021, pinned_chaos_plan),
 ]
 
 
@@ -88,18 +98,23 @@ def summarize(result, sim) -> dict:
 
 
 @pytest.mark.parametrize(
-    "scenario,seed", CASES, ids=[f"{s}-seed{n}" for s, n in CASES]
+    "stem,scenario,seed,plan_factory", CASES, ids=[case[0] for case in CASES]
 )
-def test_golden_trace_equivalence(scenario: str, seed: int) -> None:
-    fixture_path = GOLDEN_DIR / f"{scenario}_seed{seed}.json"
+def test_golden_trace_equivalence(stem, scenario, seed, plan_factory) -> None:
+    fixture_path = GOLDEN_DIR / f"{stem}.json"
     fixture = json.loads(fixture_path.read_text())
     assert fixture["version"] == 1
 
     digest = TraceDigest()
     config = SCENARIOS[scenario](seed)
     experiment = FiftyYearExperiment(config)
+    plan = plan_factory() if plan_factory is not None else None
+    if plan is not None:
+        experiment.sim.install_faults(plan)
     experiment.sim.trace_executed = digest.add
+    auditor = InvariantAuditor(experiment.sim, strict=True).install()
     result = experiment.run()
+    auditor.check_now()
 
     # Head/tail first: on mismatch these show *where* execution diverged
     # instead of just "hash differs".
@@ -108,3 +123,11 @@ def test_golden_trace_equivalence(scenario: str, seed: int) -> None:
     assert digest.count == fixture["trace_events"]
     assert digest.sha.hexdigest() == fixture["trace_sha256"]
     assert summarize(result, experiment.sim) == fixture["summary"]
+    if plan is not None:
+        controller = experiment.sim.fault_controller
+        assert fixture["faults"] == {
+            "plan": plan.name,
+            "specs": len(plan),
+            "injected": controller.injected,
+            "fired": controller.fired,
+        }

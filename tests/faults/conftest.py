@@ -1,0 +1,26 @@
+"""Hypothesis profile for the chaos/property suites.
+
+The ``chaos`` profile is what CI's dedicated chaos job runs under
+(``HYPOTHESIS_PROFILE=chaos``): derandomized so failures reproduce from
+the log alone, no deadline (simulation examples are tens of
+milliseconds, but pool startup in the worker-count property is not),
+and a modest example budget.  Locally, nothing is loaded unless the
+environment asks — each property carries its own explicit ``@settings``
+so the tier-1 run stays fast without any profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "chaos",
+    derandomize=True,
+    deadline=None,
+    max_examples=6,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)

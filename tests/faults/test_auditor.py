@@ -1,0 +1,148 @@
+"""The auditor must catch exactly the corruption it claims to catch.
+
+Each test wounds one internal invariant directly — a counter, a cache, a
+clock — and asserts the matching check trips, names the right entity,
+and (in strict mode) raises rather than collects.  A final test confirms
+the auditor is read-only: an audited run executes the identical event
+stream as an unaudited one.
+"""
+
+import pytest
+
+from repro.core import Simulation, units
+from repro.faults import (
+    InvariantAuditor,
+    InvariantViolation,
+    InvariantViolationError,
+)
+from tests.test_failure_injection import build
+
+
+def _audited_testbed(seed=1, strict=False):
+    sim = Simulation(seed=seed)
+    net = build(sim)
+    auditor = InvariantAuditor(sim, every=50, strict=strict).install()
+    sim.run_until(units.days(20.0))
+    return sim, net, auditor
+
+
+class TestCleanRuns:
+    def test_healthy_run_has_zero_violations(self):
+        _, _, auditor = _audited_testbed(strict=True)
+        assert auditor.audits_run > 0
+        assert auditor.violations == []
+
+    def test_install_refuses_second_hook(self):
+        sim = Simulation(seed=1)
+        InvariantAuditor(sim).install()
+        with pytest.raises(RuntimeError, match="already has an audit hook"):
+            InvariantAuditor(sim).install()
+
+    def test_auditing_does_not_change_the_event_stream(self):
+        plain = Simulation(seed=9)
+        build(plain)
+        plain.run_until(units.days(30.0))
+        audited = Simulation(seed=9)
+        net = build(audited)
+        InvariantAuditor(audited, every=100, strict=True).install()
+        audited.run_until(units.days(30.0))
+        assert audited.executed_events == plain.executed_events
+        assert audited.topology_version == plain.topology_version
+        assert sum(d.delivered for d in net.devices) > 0
+
+
+class TestCorruptionDetection:
+    def test_gateway_counter_corruption(self):
+        sim, net, auditor = _audited_testbed()
+        net.gateways[0].packets_forwarded += 7
+        found = auditor.check_now()
+        checks = {(v.check, v.entity) for v in found}
+        assert ("link-conservation", net.gateways[0].name) in checks
+        assert ("delivery-reality", None) in checks
+
+    def test_device_loss_accounting_corruption(self):
+        sim, net, auditor = _audited_testbed()
+        device = net.devices[0]
+        device.delivered = device.attempts + 1
+        found = auditor.check_now()
+        assert any(
+            v.check == "link-conservation" and v.entity == device.name
+            for v in found
+        )
+
+    def test_negative_energy_detected(self):
+        from repro.energy import Capacitor, CathodicProtectionSource, HarvestingSystem
+
+        sim, net, auditor = _audited_testbed()
+        device = net.devices[0]
+        device.power = HarvestingSystem(
+            source=CathodicProtectionSource(nominal_power_w=2e-4),
+            storage=Capacitor(capacity_j=0.02, stored_j=0.01),
+        )
+        device.power.storage.stored_j = -0.5
+        found = auditor.check_now()
+        assert any(
+            v.check == "energy-bounds" and v.entity == device.name
+            for v in found
+        )
+
+    def test_queue_accounting_corruption(self):
+        sim, _, auditor = _audited_testbed()
+        sim.events._live += 3
+        found = auditor.check_now()
+        assert any(v.check == "queue-accounting" for v in found)
+        sim.events._live -= 3  # restore so teardown stays sane
+
+    def test_topology_version_regression(self):
+        sim, _, auditor = _audited_testbed()
+        sim.topology_version -= 1
+        found = auditor.check_now()
+        assert any(
+            v.check == "monotonicity" and "topology_version" in v.detail
+            for v in found
+        )
+
+    def test_poisoned_candidate_cache(self):
+        sim, net, auditor = _audited_testbed()
+        device = net.devices[0]
+        fresh = device.candidate_gateways()  # make the cache fresh
+        assert device._candidate_version == sim.topology_version
+        # Wrong length is a mismatch no matter what the true answer is.
+        device._candidate_cache = list(fresh) + [net.gateways[0]]
+        found = auditor.check_now()
+        assert any(
+            v.check == "cache-coherence" and v.entity == device.name
+            for v in found
+        )
+
+
+class TestStrictMode:
+    def test_strict_raises_with_structured_violation(self):
+        sim, net, auditor = _audited_testbed(strict=True)
+        net.gateways[1].packets_received += 1
+        with pytest.raises(InvariantViolationError) as excinfo:
+            auditor.check_now()
+        violation = excinfo.value.violation
+        assert isinstance(violation, InvariantViolation)
+        assert violation.check == "link-conservation"
+        assert violation.entity == net.gateways[1].name
+        assert violation.time == sim.now
+        assert violation.entity in str(violation)
+
+    def test_collect_mode_accumulates_instead(self):
+        sim, net, auditor = _audited_testbed(strict=False)
+        net.gateways[0].packets_received += 1
+        net.gateways[1].packets_received += 1
+        first_sweep = auditor.check_now()
+        assert len(first_sweep) >= 2
+        assert auditor.violations == first_sweep
+
+    def test_violation_renders_with_time_and_entity(self):
+        violation = InvariantViolation(
+            check="energy-bounds", time=12.5, entity="dev-3", detail="boom"
+        )
+        assert str(violation) == "[energy-bounds] t=12.5 dev-3: boom"
+        anonymous = InvariantViolation(
+            check="queue-accounting", time=0.0, entity=None, detail="off"
+        )
+        assert "<simulation>" in str(anonymous)

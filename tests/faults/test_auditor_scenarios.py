@@ -1,0 +1,51 @@
+"""Every canned scenario must hold every runtime invariant, always.
+
+This is the "always-on" half of the tentpole: the full check battery
+runs strict — first violation raises — inside every scenario the repo
+ships, and again under the pinned ten-fault chaos plan.  A latent
+bookkeeping bug anywhere in the stack (device loss accounting, gateway
+drop categories, queue counters, topology caches) fails here with the
+entity and sim-time attached, instead of washing into an E-benchmark
+aggregate.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import units
+from repro.experiment import SCENARIOS, FiftyYearExperiment
+from repro.faults import InvariantAuditor, pinned_chaos_plan
+
+
+def _audited_run(name, seed=2021, years=1.0, faults=None):
+    config = SCENARIOS[name](seed)
+    config = replace(
+        config,
+        horizon=units.years(years),
+        report_interval=units.days(2.0),
+    )
+    experiment = FiftyYearExperiment(config)
+    if faults is not None:
+        experiment.sim.install_faults(faults)
+    auditor = InvariantAuditor(
+        experiment.sim, every=1000, strict=True
+    ).install()
+    experiment.run()
+    auditor.check_now()  # one final sweep at the horizon
+    return auditor
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_holds_all_invariants(name):
+    auditor = _audited_run(name)
+    assert auditor.audits_run > 1  # the hook actually ran mid-flight
+    assert auditor.violations == []
+
+
+def test_as_designed_holds_invariants_under_chaos_plan():
+    # Three years covers the plan's first two faults (year-2 backhaul
+    # degrade window included); the golden fixture covers the full run.
+    auditor = _audited_run("as-designed", years=3.0, faults=pinned_chaos_plan())
+    assert auditor.audits_run > 1
+    assert auditor.violations == []

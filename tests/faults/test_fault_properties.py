@@ -1,0 +1,274 @@
+"""Property-based guarantees of the fault-injection subsystem.
+
+Three metamorphic/chaos properties, each over generated plans and seeds:
+
+1. **Worker-count invariance** — a plan + seed produces a bit-identical
+   executed fault event stream (and run statistics) whether the
+   Monte-Carlo fan-out uses one worker or several processes.
+2. **Commutative composition** — installing disjoint plans in either
+   order yields the same executed fault stream and the same final
+   system state, because every spec's randomness comes from a stream
+   named by the spec's *content*, not its installation position.
+3. **Uptime monotonicity** — adding a delivery-gating plan (faults that
+   only gate the backhaul/cloud delivery path and provably shift no
+   shared RNG draw) can never *increase* the E9-style weekly uptime of
+   the same seed.  Not "on average": exactly, per seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Simulation, units
+from repro.faults import (
+    CustodianLapse,
+    DegradeFault,
+    FaultPlan,
+    FlapFault,
+    KillFault,
+    Selector,
+    WalletDrain,
+)
+from repro.net import (
+    CampusBackhaul,
+    CloudEndpoint,
+    EdgeDevice,
+    Network,
+    OwnedGateway,
+    Position,
+    associate_by_coverage,
+)
+from repro.radio import ieee802154
+from repro.runtime import MonteCarloRunner, ScenarioTask
+
+# ----------------------------------------------------------------------
+# Plan generation
+# ----------------------------------------------------------------------
+# Builders take an injection time (seconds) and return one spec.  Any
+# two drawn specs get distinct times, so their content keys — and hence
+# their RNG streams — are always distinct.
+
+
+def _kill_gateway(at):
+    return KillFault(at=at, select=Selector.k_random(1, tier="gateway"))
+
+
+def _degrade_backhaul(at):
+    return DegradeFault(
+        at=at, select=Selector.by_tier("backhaul"), duration=units.days(14.0)
+    )
+
+
+def _flap_backhaul(at):
+    return FlapFault(
+        at=at,
+        select=Selector.by_tier("backhaul"),
+        down=units.days(3.0),
+        up=units.days(11.0),
+        cycles=2,
+    )
+
+
+def _drain_wallet(at):
+    return WalletDrain(at=at, fraction=0.75)
+
+
+def _custodian_lapse(at):
+    return CustodianLapse(at=at, duration=units.days(10.0))
+
+
+def _degrade_cloud(at):
+    return DegradeFault(
+        at=at, select=Selector.by_tier("cloud"), duration=units.days(7.0)
+    )
+
+
+ALL_BUILDERS = (
+    _kill_gateway,
+    _degrade_backhaul,
+    _flap_backhaul,
+    _drain_wallet,
+    _custodian_lapse,
+    _degrade_cloud,
+)
+#: Builders whose specs are all delivery-gating (see module docstring).
+GATING_BUILDERS = (
+    _degrade_backhaul,
+    _flap_backhaul,
+    _drain_wallet,
+    _custodian_lapse,
+    _degrade_cloud,
+)
+
+
+def _plan(name, picks, builders):
+    """Build a plan from drawn (day-offset, builder-index) pairs."""
+    specs = tuple(
+        builders[index % len(builders)](units.days(float(day)))
+        for day, index in picks
+    )
+    return FaultPlan(name=name, specs=specs)
+
+
+_picks = st.lists(
+    st.tuples(
+        st.integers(min_value=10, max_value=330),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda pair: pair[0],
+)
+
+
+# ----------------------------------------------------------------------
+# 1. Worker-count invariance
+# ----------------------------------------------------------------------
+@settings(derandomize=True, deadline=None, max_examples=4)
+@given(base_seed=st.integers(min_value=0, max_value=2**31 - 1), picks=_picks)
+def test_fault_stream_identical_at_any_worker_count(base_seed, picks):
+    plan = _plan("generated", picks, ALL_BUILDERS)
+    task = ScenarioTask(
+        "as-designed",
+        horizon=units.years(1.0),
+        report_interval=units.days(2.0),
+        faults=plan,
+    )
+    serial = MonteCarloRunner(task, runs=3, base_seed=base_seed, workers=1).run()
+    pooled = MonteCarloRunner(task, runs=3, base_seed=base_seed, workers=3).run()
+    # wall_clock_s legitimately differs; everything deterministic must not.
+    for left, right in zip(serial.runs, pooled.runs):
+        assert left.seed == right.seed
+        assert left.fault_stream == right.fault_stream
+        assert left.faults_injected == right.faults_injected
+        assert left.faults_fired == right.faults_fired
+        assert left.sample == right.sample
+        assert left.events_executed == right.events_executed
+    assert serial.uptime == pooled.uptime
+
+
+# ----------------------------------------------------------------------
+# 2. Commutative composition of disjoint plans
+# ----------------------------------------------------------------------
+def _testbed(sim):
+    """The small four-device / two-gateway topology used across suites."""
+    cloud = CloudEndpoint(sim)
+    backhaul = CampusBackhaul(sim)
+    backhaul.add_dependency(cloud)
+    gateways = []
+    for index in range(2):
+        gateway = OwnedGateway(
+            sim,
+            spec=ieee802154.default_spec(),
+            path_loss=ieee802154.urban_path_loss(),
+            position=Position(30.0 * index, 0.0),
+        )
+        gateway.add_dependency(backhaul)
+        gateways.append(gateway)
+    devices = []
+    for index in range(4):
+        device = EdgeDevice(
+            sim,
+            technology="802.15.4",
+            spec=ieee802154.default_spec(),
+            airtime_s=ieee802154.airtime_s(24),
+            report_interval=units.hours(6.0),
+            position=Position(10.0 + 10.0 * index, 5.0),
+        )
+        devices.append(device)
+    associate_by_coverage(devices, gateways, max_gateways_per_device=2)
+    net = Network(
+        sim=sim, endpoint=cloud, backhauls=[backhaul], gateways=gateways,
+        devices=devices,
+    )
+    net.deploy_all()
+    return net
+
+
+def _snapshot(sim):
+    """Order-independent final-state fingerprint of every entity."""
+    rows = []
+    for entity in sim.entities:
+        rows.append(
+            (
+                entity.name,
+                entity.alive,
+                getattr(entity, "delivered", None),
+                getattr(entity, "attempts", None),
+                getattr(entity, "packets_received", None),
+                getattr(entity, "packets_forwarded", None),
+            )
+        )
+    return tuple(sorted(rows))
+
+
+def _run_composed(seed, plans):
+    sim = Simulation(seed=seed)
+    _testbed(sim)
+    for plan in plans:
+        sim.install_faults(plan)
+    sim.run_until(units.months(8.0))
+    return sim.fault_controller.stream_tuple(), _snapshot(sim)
+
+
+@settings(derandomize=True, deadline=None, max_examples=6)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    picks=st.lists(
+        st.tuples(
+            st.integers(min_value=5, max_value=200),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=2,
+        max_size=4,
+        unique_by=lambda pair: pair[0],
+    ),
+)
+def test_disjoint_plans_compose_commutatively(seed, picks):
+    half = len(picks) // 2
+    plan_a = _plan("a", picks[:half], ALL_BUILDERS)
+    plan_b = _plan("b", picks[half:], ALL_BUILDERS)
+    stream_ab, state_ab = _run_composed(seed, [plan_a, plan_b])
+    stream_ba, state_ba = _run_composed(seed, [plan_b, plan_a])
+    assert sorted(stream_ab) == sorted(stream_ba)
+    assert state_ab == state_ba
+    # And composing as a single summed plan is the same thing again.
+    stream_sum, state_sum = _run_composed(seed, [plan_a + plan_b])
+    assert sorted(stream_sum) == sorted(stream_ab)
+    assert state_sum == state_ab
+
+
+# ----------------------------------------------------------------------
+# 3. Delivery-gating faults never increase weekly uptime
+# ----------------------------------------------------------------------
+@settings(derandomize=True, deadline=None, max_examples=4)
+@given(
+    base_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    picks=st.lists(
+        st.tuples(
+            st.integers(min_value=10, max_value=330),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1,
+        max_size=3,
+        unique_by=lambda pair: pair[0],
+    ),
+)
+def test_gating_plan_never_increases_uptime(base_seed, picks):
+    plan = _plan("gating", picks, GATING_BUILDERS)
+    assert plan.delivery_gating  # precondition of the exact comparison
+    base_task = ScenarioTask(
+        "as-designed", horizon=units.years(1.5), report_interval=units.days(2.0)
+    )
+    fault_task = ScenarioTask(
+        "as-designed",
+        horizon=units.years(1.5),
+        report_interval=units.days(2.0),
+        faults=plan,
+    )
+    base = MonteCarloRunner(base_task, runs=2, base_seed=base_seed).run()
+    wounded = MonteCarloRunner(fault_task, runs=2, base_seed=base_seed).run()
+    for clean, hurt in zip(base.runs, wounded.runs):
+        assert clean.seed == hurt.seed
+        # Exact per-seed dominance, not a statistical claim: a gating
+        # fault can only remove deliveries from the identical trajectory.
+        assert hurt.sample <= clean.sample

@@ -1,0 +1,331 @@
+"""Unit coverage for selectors, specs, plans, and the JSON format."""
+
+import json
+
+import pytest
+
+from repro.core import Simulation, units
+from repro.core.entity import Entity
+from repro.faults import (
+    CustodianLapse,
+    DegradeFault,
+    FaultPlan,
+    FaultPlanError,
+    FlapFault,
+    HotspotChurnBurst,
+    KillFault,
+    MaintenanceNoShow,
+    Selector,
+    WalletDrain,
+    load_plan,
+    pinned_chaos_plan,
+)
+from repro.reliability.distributions import Exponential
+from repro.reliability.failure import RenewalProcess
+
+
+class Widget(Entity):
+    TIER = "gateway"
+
+
+class Pipe(Entity):
+    TIER = "backhaul"
+
+
+def _population(sim, n=5):
+    widgets = []
+    for index in range(n):
+        widget = Widget(sim, name=f"w{index}")
+        widget.tags["technology"] = "lora" if index % 2 else "802.15.4"
+        widget.deploy()
+        widgets.append(widget)
+    return widgets
+
+
+class TestSelector:
+    def test_by_name_hits_only_named_live_entities(self):
+        sim = Simulation(seed=0)
+        widgets = _population(sim)
+        widgets[1].fail()
+        chosen = Selector.by_name("w0", "w1", "w3").resolve(sim)
+        assert [w.name for w in chosen] == ["w0", "w3"]
+
+    def test_by_tier_with_where_filter(self):
+        sim = Simulation(seed=0)
+        _population(sim)
+        lora = Selector.by_tier("gateway", where=(("technology", "lora"),))
+        assert [w.name for w in lora.resolve(sim)] == ["w1", "w3"]
+
+    def test_k_random_is_deterministic_per_stream(self):
+        sim_a = Simulation(seed=11)
+        _population(sim_a, n=8)
+        sim_b = Simulation(seed=11)
+        _population(sim_b, n=8)
+        select = Selector.k_random(3, tier="gateway")
+        picks_a = [w.name for w in select.resolve(sim_a, sim_a.rng("faults:x"))]
+        picks_b = [w.name for w in select.resolve(sim_b, sim_b.rng("faults:x"))]
+        assert len(picks_a) == 3
+        assert picks_a == picks_b
+
+    def test_k_random_clamps_to_population(self):
+        sim = Simulation(seed=3)
+        _population(sim, n=2)
+        select = Selector.k_random(10, tier="gateway")
+        assert len(select.resolve(sim, sim.rng("faults:y"))) == 2
+
+    def test_blast_radius_prefers_most_depended_on(self):
+        sim = Simulation(seed=0)
+        shared, spare = Pipe(sim, name="shared"), Pipe(sim, name="spare")
+        widgets = _population(sim, n=4)
+        for widget in widgets[:3]:
+            widget.add_dependency(shared)
+        widgets[3].add_dependency(spare)
+        shared.deploy(), spare.deploy()
+        top = Selector.blast_radius(1, tier="backhaul").resolve(sim)
+        assert [e.name for e in top] == ["shared"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Selector(by="psychic")
+        with pytest.raises(ValueError):
+            Selector.by_name()
+        with pytest.raises(ValueError):
+            Selector.k_random(0, tier="gateway")
+
+
+class TestSpecValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            KillFault(at=-1.0, select=Selector.by_tier("gateway"))
+        with pytest.raises(ValueError):
+            KillFault(at=0.0, select=Selector.by_tier("gateway"), mode="maim")
+        with pytest.raises(ValueError):
+            DegradeFault(at=0.0, select=Selector.by_tier("cloud"), duration=0.0)
+        with pytest.raises(ValueError):
+            FlapFault(at=0.0, select=Selector.by_tier("backhaul"), down=1.0,
+                      up=0.0)
+        with pytest.raises(ValueError):
+            HotspotChurnBurst(at=0.0, k=0)
+        with pytest.raises(ValueError):
+            WalletDrain(at=0.0)  # neither credits nor fraction
+        with pytest.raises(ValueError):
+            WalletDrain(at=0.0, credits=5, fraction=0.5)  # both
+        with pytest.raises(ValueError):
+            WalletDrain(at=0.0, fraction=1.5)
+        with pytest.raises(ValueError):
+            MaintenanceNoShow(at=0.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            CustodianLapse(at=0.0, duration=0.0)
+
+    def test_keys_are_content_derived(self):
+        spec = DegradeFault(
+            at=units.days(3.0),
+            select=Selector.by_name("campus-net"),
+            duration=units.days(1.0),
+        )
+        same = DegradeFault(
+            at=units.days(3.0),
+            select=Selector.by_name("campus-net"),
+            duration=units.days(1.0),
+        )
+        other = DegradeFault(
+            at=units.days(4.0),
+            select=Selector.by_name("campus-net"),
+            duration=units.days(1.0),
+        )
+        assert spec.key() == same.key()
+        assert spec.key() != other.key()
+
+    def test_delivery_gating_classification(self):
+        gating = [
+            DegradeFault(at=1.0, select=Selector.by_tier("backhaul"),
+                         duration=2.0),
+            FlapFault(at=1.0, select=Selector.by_tier("cloud"), down=1.0,
+                      up=1.0),
+            WalletDrain(at=1.0, fraction=0.5),
+            CustodianLapse(at=1.0, duration=2.0),
+        ]
+        shifting = [
+            KillFault(at=1.0, select=Selector.by_tier("gateway")),
+            DegradeFault(at=1.0, select=Selector.by_tier("gateway"),
+                         duration=2.0),
+            HotspotChurnBurst(at=1.0, k=2),
+            MaintenanceNoShow(at=1.0, duration=2.0),
+        ]
+        assert all(s.delivery_gating for s in gating)
+        assert not any(s.delivery_gating for s in shifting)
+        assert FaultPlan(specs=tuple(gating)).delivery_gating
+        assert not FaultPlan(specs=tuple(gating + shifting)).delivery_gating
+
+
+class TestPlanInstall:
+    def test_duplicate_spec_rejected_in_plan_and_across_installs(self):
+        spec = WalletDrain(at=1.0, fraction=0.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(specs=(spec, spec))
+        sim = Simulation(seed=0)
+        sim.install_faults(FaultPlan(name="one", specs=(spec,)))
+        with pytest.raises(FaultPlanError):
+            sim.install_faults(FaultPlan(name="two", specs=(spec,)))
+
+    def test_repeated_install_extends_one_controller(self):
+        sim = Simulation(seed=0)
+        first = sim.install_faults(
+            FaultPlan(name="a", specs=(WalletDrain(at=1.0, fraction=0.1),))
+        )
+        second = sim.install_faults(
+            FaultPlan(name="b", specs=(WalletDrain(at=2.0, fraction=0.1),))
+        )
+        assert first is second is sim.fault_controller
+        assert first.plan_names == ["a", "b"]
+        assert len(first.specs) == 2
+
+    def test_missing_wallet_resource_is_noop(self):
+        sim = Simulation(seed=0)
+        controller = sim.install_faults(
+            FaultPlan(specs=(WalletDrain(at=1.0, fraction=0.9),))
+        )
+        sim.run_until(2.0)
+        assert controller.fired == 1
+        assert controller.events[0][2] == "wallet-drain-skipped"
+
+    def test_degrade_windows_overlap_compose(self):
+        sim = Simulation(seed=0)
+        widget = Widget(sim, name="w0")
+        widget.deploy()
+        sim.install_faults(
+            FaultPlan(
+                specs=(
+                    DegradeFault(at=10.0, select=Selector.by_name("w0"),
+                                 duration=30.0),
+                    DegradeFault(at=20.0, select=Selector.by_name("w0"),
+                                 duration=30.0),
+                )
+            )
+        )
+        sim.run_until(25.0)
+        assert widget.forced_degradations == 2
+        sim.run_until(45.0)  # first window closed, second still open
+        assert widget.forced_degradations == 1 and widget.degraded
+        sim.run_until(60.0)
+        assert widget.forced_degradations == 0 and not widget.degraded
+
+
+class TestMaintenanceNoShow:
+    def test_renewal_replacement_defers_to_window_end(self):
+        sim = Simulation(seed=5)
+        first = Widget(sim, name="unit-0")
+        made = []
+
+        def factory():
+            successor = Widget(sim, name=f"unit-{len(made) + 1}")
+            made.append(successor)
+            return successor
+
+        renewal = RenewalProcess(
+            sim,
+            first,
+            Exponential(scale=units.days(30.0)),
+            factory,
+            logistics_delay=units.days(1.0),
+            stream="renewals",
+        )
+        first.deploy()
+        renewal.start()
+        failure_at = renewal._process.scheduled_at
+        visit_at = failure_at + units.days(1.0)
+        window_end = visit_at + units.days(40.0)
+        sim.install_faults(
+            FaultPlan(
+                specs=(
+                    MaintenanceNoShow(
+                        at=visit_at - units.days(0.5),
+                        duration=units.days(40.5),
+                    ),
+                )
+            )
+        )
+        sim.run_until(visit_at + units.days(1.0))
+        assert not made  # the visit found nobody home
+        sim.run_until(window_end + units.days(0.5))
+        assert len(made) == 1  # and happened right when the window closed
+        assert renewal.history[0].replaced_at == pytest.approx(window_end)
+
+    def test_suppression_window_queries(self):
+        sim = Simulation(seed=0)
+        controller = sim.install_faults(
+            FaultPlan(specs=(MaintenanceNoShow(at=100.0, duration=50.0),))
+        )
+        assert not controller.maintenance_suppressed(99.0)
+        assert controller.maintenance_suppressed(100.0)
+        assert controller.maintenance_suppressed(149.0)
+        assert not controller.maintenance_suppressed(150.0)  # half-open
+        assert controller.suppression_ends(120.0) == 150.0
+        assert controller.suppression_ends(99.0) == 99.0
+
+
+class TestJson:
+    def test_pinned_plan_round_trips_exactly(self):
+        plan = pinned_chaos_plan()
+        assert FaultPlan.from_dict(json.loads(plan.to_json())) == plan
+
+    def test_unit_suffixes_accepted(self):
+        payload = {
+            "version": 1,
+            "name": "suffixes",
+            "faults": [
+                {"kind": "wallet-drain", "at_days": 2, "fraction": 0.5},
+                {"kind": "custodian-lapse", "at_years": 1, "duration_hours": 6},
+            ],
+        }
+        plan = FaultPlan.from_dict(payload)
+        assert plan.specs[0].at == units.days(2.0)
+        assert plan.specs[1].at == units.years(1.0)
+        assert plan.specs[1].duration == units.hours(6.0)
+
+    def test_malformed_plans_raise_with_context(self):
+        with pytest.raises(FaultPlanError, match="version"):
+            FaultPlan.from_dict({"version": 99, "faults": []})
+        with pytest.raises(FaultPlanError, match="faults"):
+            FaultPlan.from_dict({"version": 1})
+        with pytest.raises(FaultPlanError, match="unknown kind"):
+            FaultPlan.from_dict(
+                {"version": 1, "faults": [{"kind": "gremlin", "at_s": 1}]}
+            )
+        with pytest.raises(FaultPlanError, match="#0"):
+            FaultPlan.from_dict(
+                {"version": 1, "faults": [{"kind": "wallet-drain"}]}
+            )
+        # A time field needs exactly one unit suffix — zero or two fail.
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultPlan.from_dict(
+                {
+                    "version": 1,
+                    "faults": [
+                        {"kind": "wallet-drain", "at": 5, "fraction": 0.1}
+                    ],
+                }
+            )
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultPlan.from_dict(
+                {
+                    "version": 1,
+                    "faults": [
+                        {
+                            "kind": "wallet-drain",
+                            "at_s": 5,
+                            "at_days": 5,
+                            "fraction": 0.1,
+                        }
+                    ],
+                }
+            )
+
+    def test_load_plan_from_disk(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(pinned_chaos_plan().to_json())
+        assert load_plan(str(path)) == pinned_chaos_plan()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="invalid JSON"):
+            load_plan(str(bad))

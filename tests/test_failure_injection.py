@@ -1,15 +1,24 @@
 """Failure-injection tests: chaos scenarios across the whole stack.
 
-Each test wounds a running deployment in a specific way mid-run and
-checks both the service impact and the *accounting* — losses must land
-in the right counters, reachability views must agree with delivery
-reality, and recovery must restore service.
+Each test wounds a running deployment mid-run — now declaratively,
+through :mod:`repro.faults` plans rather than bespoke lambdas — and
+checks both the service impact and the *accounting*: losses must land in
+the right counters, reachability views must agree with delivery reality,
+and recovery must restore service.  Several tests additionally run the
+:class:`~repro.faults.InvariantAuditor` strict, so a wounding that
+corrupts internal bookkeeping fails loudly rather than washing into an
+aggregate.
 """
-
-import pytest
 
 from repro.core import Simulation, units
 from repro.energy import Capacitor, CathodicProtectionSource, HarvestingSystem
+from repro.faults import (
+    FaultPlan,
+    FlapFault,
+    InvariantAuditor,
+    KillFault,
+    Selector,
+)
 from repro.net import (
     CampusBackhaul,
     CloudEndpoint,
@@ -61,7 +70,16 @@ class TestGatewayFailureInjection:
     def test_all_gateways_down_then_recovered_by_new_deploy(self):
         sim = Simulation(seed=1)
         net = build(sim)
-        sim.call_at(units.months(2.0), lambda: [g.fail() for g in net.gateways])
+        sim.install_faults(
+            FaultPlan(
+                name="gateway-wipeout",
+                specs=(
+                    KillFault(
+                        at=units.months(2.0), select=Selector.by_tier("gateway")
+                    ),
+                ),
+            )
+        )
 
         def redeploy():
             gateway = OwnedGateway(
@@ -78,6 +96,7 @@ class TestGatewayFailureInjection:
 
         sim.call_at(units.months(4.0), redeploy)
         sim.run_until(units.years(1.0))
+        assert not any(g.alive for g in net.gateways[:2])
         report = net.endpoint.weekly_uptime(0.0, units.years(1.0))
         # Dark for ~2 months of 12: uptime ~10/12.
         assert 0.7 < report.uptime < 0.95
@@ -86,8 +105,18 @@ class TestGatewayFailureInjection:
     def test_loss_counters_during_outage(self):
         sim = Simulation(seed=2)
         net = build(sim)
-        sim.call_at(units.months(1.0), lambda: [g.fail() for g in net.gateways])
+        auditor = InvariantAuditor(sim, every=200, strict=True).install()
+        sim.install_faults(
+            FaultPlan(
+                specs=(
+                    KillFault(
+                        at=units.months(1.0), select=Selector.by_tier("gateway")
+                    ),
+                )
+            )
+        )
         sim.run_until(units.months(2.0))
+        auditor.check_now()
         summary = net.delivery_summary()
         assert summary.no_gateway > 0
         assert summary.attempts == (
@@ -100,7 +129,17 @@ class TestBackhaulFailureInjection:
     def test_backhaul_death_strands_but_devices_keep_trying(self):
         sim = Simulation(seed=3)
         net = build(sim)
-        sim.call_at(units.months(3.0), lambda: net.backhauls[0].fail())
+        sim.install_faults(
+            FaultPlan(
+                specs=(
+                    KillFault(
+                        at=units.months(3.0),
+                        select=Selector.by_name(net.backhauls[0].name),
+                        reason="backhaul-cut",
+                    ),
+                )
+            )
+        )
         sim.run_until(units.months(6.0))
         assert all(d.alive for d in net.devices)
         assert net.hierarchy.stranded_devices() == net.hierarchy.tier("device")
@@ -110,18 +149,25 @@ class TestBackhaulFailureInjection:
     def test_flapping_backhaul_partial_uptime(self):
         sim = Simulation(seed=4)
         net = build(sim)
-        backhaul = net.backhauls[0]
-
-        def flap_down():
-            backhaul.up = False
-
-        def flap_up():
-            backhaul.up = True
-
-        for month in range(1, 12, 2):
-            sim.call_at(units.months(float(month)), flap_down)
-            sim.call_at(units.months(float(month) + 1.0), flap_up)
+        # Odd months down, even months up — the old hand-rolled up-toggle
+        # loop, now one declarative (and delivery-gating) flap spec.
+        plan = FaultPlan(
+            name="backhaul-flap",
+            specs=(
+                FlapFault(
+                    at=units.months(1.0),
+                    select=Selector.by_tier("backhaul"),
+                    down=units.months(1.0),
+                    up=units.months(1.0),
+                    cycles=6,
+                ),
+            ),
+        )
+        assert plan.delivery_gating
+        controller = sim.install_faults(plan)
         sim.run_until(units.years(1.0))
+        # 6 down edges + 6 restores executed.
+        assert controller.fired == 12
         summary = net.delivery_summary()
         assert summary.dropped_at_gateway > 0
         assert summary.delivered > 0
@@ -131,8 +177,17 @@ class TestEndpointFailureInjection:
     def test_cloud_outage_counts_at_gateway(self):
         sim = Simulation(seed=5)
         net = build(sim)
-        sim.call_at(units.months(1.0), net.endpoint.fail)
+        sim.install_faults(
+            FaultPlan(
+                specs=(
+                    KillFault(
+                        at=units.months(1.0), select=Selector.by_tier("cloud")
+                    ),
+                )
+            )
+        )
         sim.run_until(units.months(3.0))
+        assert not net.endpoint.alive
         assert sum(g.drops_endpoint for g in net.gateways) > 0
 
 
@@ -142,6 +197,7 @@ class TestEnergyStarvationInjection:
         net = build(sim, n_devices=1)
         device = net.devices[0]
         # Retrofit a harvester below the sleep floor: net-negative energy.
+        # (Environment mutation, not a component fault — stays hand-rolled.)
         device.power = HarvestingSystem(
             source=CathodicProtectionSource(nominal_power_w=0.5e-6),
             storage=Capacitor(capacity_j=0.02, stored_j=0.0),
@@ -168,6 +224,8 @@ class TestHeliumChaosInjection:
             sim, cloud, extent_m=2_000.0, initial_hotspots=30
         )
         network.wallet.provision(500_000)
+        sim.resources["helium"] = network  # let the auditor cross-check
+        auditor = InvariantAuditor(sim, every=200, strict=True).install()
         from repro.radio.lora import LoRaParameters
 
         lora = LoRaParameters(spreading_factor=10)
@@ -184,12 +242,31 @@ class TestHeliumChaosInjection:
         sim.run_until(units.months(1.0))
         delivered_before = device.delivered
         # Kill the single biggest AS; other ASes' hotspots still carry.
+        # The plan is installed *mid-run* — selectors resolve at fire
+        # time, so naming the backhaul that exists right now is exact.
         from repro.analysis import survival_correlation_groups
 
         groups = survival_correlation_groups(
             [h.asn for h in network.live_hotspots()]
         )
         biggest = max(groups, key=groups.get)
-        network.fail_as(biggest)
+        doomed = network.backhauls[biggest]
+        sim.install_faults(
+            FaultPlan(
+                name="as-outage",
+                specs=(
+                    KillFault(
+                        at=sim.now,
+                        select=Selector.by_name(f"as{biggest}"),
+                        reason=f"as{biggest}-outage",
+                    ),
+                ),
+            )
+        )
         sim.run_until(units.months(3.0))
+        auditor.check_now()
+        # The struck backhaul is dead (a *new* arrival on the same AS may
+        # have re-created the name — that resurrection is the network's
+        # churn model working, not the fault failing).
+        assert not doomed.alive
         assert device.delivered > delivered_before
