@@ -52,6 +52,22 @@ MIN_MICRO_SPEEDUP = 2.0
 #: E2e bar vs the pinned baseline — asserted only on the baseline host.
 MIN_E2E_SPEEDUP = 1.3
 
+#: Obs-overhead bar vs the frozen pre-obs kernel (``pr3_reference``):
+#: threading the telemetry registry through the hot path may cost at
+#: most 5% of e2e wall clock.  Same-host only, like the e2e bar — and
+#: additionally same *machine state*: the legacy-kernel micro is frozen
+#: code, so its timing is a pure machine-speed probe.  When the probe
+#: deviates from the reference capture's probe by more than
+#: ``MAX_PROBE_DRIFT``, the host is measurably in a different state
+#: (noisy neighbours, thermal) and the ratio is weather, not signal:
+#: it is reported but not asserted.
+MAX_OBS_OVERHEAD = 1.05
+MAX_PROBE_DRIFT = 0.10
+
+#: If the e2e reps of the current run spread wider than this, the
+#: measurement window itself was turbulent and the obs gate disarms.
+MAX_E2E_REP_SPREAD = 1.15
+
 
 def host_facts() -> dict:
     return {
@@ -77,17 +93,28 @@ def measure_micro() -> dict:
     return results
 
 
-def measure_e2e() -> dict:
+def measure_e2e(reps: int = 5) -> dict:
+    """Best-of-``reps`` wall clock for the 50-year run.
+
+    Single-shot timings on shared hardware swing by more than the 5%
+    obs-overhead budget, so the gate would be judging scheduler noise.
+    The minimum over a few identical runs is the standard robust
+    estimator for "how fast can this code go on this machine".
+    """
     task = ScenarioTask(scenario=E2E_SCENARIO)
     seed = derive_seeds(E2E_BASE_SEED, 1)[0]
-    started = time.perf_counter()
-    result = task(0, seed)
-    wall = time.perf_counter() - started
+    walls = []
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = task(0, seed)
+        walls.append(time.perf_counter() - started)
     return {
         "scenario": E2E_SCENARIO,
         "horizon_years": 50.0,
         "base_seed": E2E_BASE_SEED,
-        "wall_clock_s": wall,
+        "wall_clock_s": min(walls),
+        "wall_clock_reps": [round(w, 3) for w in walls],
         "events_executed": result.events_executed,
         "peak_pending_events": result.peak_pending_events,
         "uptime": result.sample,
@@ -113,8 +140,10 @@ def write_latest(document: dict, micro: dict, e2e: dict) -> None:
 
 def test_e22_kernel_fast_path(benchmark):
     document = load_document()
-    micro, e2e = benchmark.pedantic(
-        lambda: (measure_micro(), measure_e2e()), rounds=1, iterations=1
+    # E2e first: it runs in a fresh process state, before the micro
+    # workloads churn the allocator with 200k-event lists.
+    e2e, micro = benchmark.pedantic(
+        lambda: (measure_e2e(), measure_micro()), rounds=1, iterations=1
     )
     write_latest(document, micro, e2e)
 
@@ -141,6 +170,43 @@ def test_e22_kernel_fast_path(benchmark):
             f"{e2e['wall_clock_s']:.2f} s ({e2e_speedup:.2f}x"
             f"{', same host' if same_host else ', DIFFERENT host — informational'})"
         )
+    reference = document.get("pr3_reference")
+    obs_ratio = None
+    obs_gate_armed = False
+    if reference is not None:
+        ref_e2e = reference["e2e"]
+        ref_micro = reference["micro"]
+        obs_ratio = e2e["wall_clock_s"] / ref_e2e["wall_clock_s"]
+        probe_ratio = (micro["push_pop_legacy_s"] + micro["churn_legacy_s"]) / (
+            ref_micro["push_pop_legacy_s"] + ref_micro["churn_legacy_s"]
+        )
+        same_state = abs(probe_ratio - 1.0) <= MAX_PROBE_DRIFT
+        reps = e2e.get("wall_clock_reps") or [e2e["wall_clock_s"]]
+        spread = max(reps) / min(reps)
+        calm = spread <= MAX_E2E_REP_SPREAD
+        obs_gate_armed = (
+            reference["host"]["hostname"] == platform.node()
+            and same_state
+            and calm
+        )
+        if obs_gate_armed:
+            condition = "same host & machine state"
+        elif reference["host"]["hostname"] != platform.node():
+            condition = "DIFFERENT host — informational"
+        elif not same_state:
+            condition = (
+                f"machine state drifted {probe_ratio:.2f}x on the frozen "
+                f"legacy probe — informational"
+            )
+        else:
+            condition = (
+                f"turbulent window (rep spread {spread:.2f}x) — informational"
+            )
+        rows.append(
+            f"obs overhead   : {ref_e2e['wall_clock_s']:.2f} s → "
+            f"{e2e['wall_clock_s']:.2f} s ({obs_ratio:.3f}x of pre-obs, "
+            f"{condition})"
+        )
     rows.append(f"wrote latest → {BENCH_JSON.name}")
     emit(rows)
 
@@ -162,4 +228,14 @@ def test_e22_kernel_fast_path(benchmark):
     if e2e_speedup is not None and same_host:
         assert e2e_speedup >= MIN_E2E_SPEEDUP, (
             f"e2e speedup {e2e_speedup:.2f}x < required {MIN_E2E_SPEEDUP}x"
+        )
+
+    # Obs-overhead bar vs the frozen pre-obs kernel: armed only on the
+    # reference host while the frozen-code probe confirms comparable
+    # machine state (see MAX_PROBE_DRIFT above).
+    if obs_ratio is not None and obs_gate_armed:
+        assert obs_ratio <= MAX_OBS_OVERHEAD, (
+            f"e2e wall clock is {obs_ratio:.3f}x the pre-obs reference "
+            f"(> allowed {MAX_OBS_OVERHEAD}x): the telemetry layer "
+            f"regressed the hot path"
         )

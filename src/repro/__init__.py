@@ -30,6 +30,7 @@ Subpackages
 ``analysis``      AS concentration, uptime, metrics, diary
 ``experiment``    the §4 fifty-year experiment and scenarios
 ``faults``        deterministic fault injection + invariant auditing
+``obs``           deterministic telemetry: metrics, traces, exporters
 ``runtime``       deterministic parallel Monte-Carlo execution
 """
 
@@ -44,6 +45,7 @@ from . import (
     experiment,
     faults,
     net,
+    obs,
     obsolescence,
     radio,
     reliability,
@@ -59,6 +61,7 @@ __all__ = [
     "experiment",
     "faults",
     "net",
+    "obs",
     "obsolescence",
     "radio",
     "reliability",

@@ -6,6 +6,8 @@ Exposes the most-used entry points without writing Python::
     python -m repro run as-designed --years 10 --seed 7
     python -m repro mc as-designed --runs 10 --workers 4
     python -m repro mc as-designed --faults plan.json --audit
+    python -m repro mc as-designed --runs 4 --metrics out.jsonl
+    python -m repro run as-designed --metrics run.prom --metrics-format prom
     python -m repro quote --years 50 --per-hour 1
     python -m repro tco --gateways 100 --horizon 50
     python -m repro la                        # the §1 labor arithmetic
@@ -52,8 +54,18 @@ def _load_fault_plan(path: Optional[str]):
         raise SystemExit(2)
 
 
+def _write_metrics_file(args: argparse.Namespace, per_run, merged=None) -> None:
+    """Write ``--metrics PATH`` output in ``--metrics-format``."""
+    from .obs import write_metrics
+
+    lines = write_metrics(
+        args.metrics, per_run, merged=merged, fmt=args.metrics_format
+    )
+    print(f"metrics: {lines} snapshot(s) -> {args.metrics}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiment import SCENARIOS
+    from .experiment import SCENARIOS, scenario_config
 
     if args.scenario not in SCENARIOS:
         print(
@@ -61,12 +73,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    from dataclasses import replace
-
     plan = _load_fault_plan(args.faults)
-    config = SCENARIOS[args.scenario](args.seed)
-    config = replace(
-        config,
+    config = scenario_config(
+        args.scenario,
+        args.seed,
         horizon=units.years(args.years),
         report_interval=units.days(args.report_days),
     )
@@ -95,6 +105,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"invariant violations: {len(auditor.violations)}")
         for violation in auditor.violations:
             print(f"  {violation}")
+    if args.metrics:
+        meta = {"scenario": args.scenario, "seed": args.seed}
+        _write_metrics_file(
+            args, [(meta, experiment.sim.metrics.snapshot())]
+        )
     if args.diary:
         print()
         print(result.diary.render())
@@ -147,6 +162,16 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             if with_faults:
                 line += f" {run.faults_fired:>7} {run.invariant_violations:>6}"
             print(line)
+    if args.metrics:
+        per_run = [
+            ({"run": run.index, "seed": run.seed}, run.metrics)
+            for run in study.runs
+        ]
+        merged = (
+            {"merged": True, "runs": len(study.runs), "base_seed": study.base_seed},
+            study.merged_metrics(),
+        )
+        _write_metrics_file(args, per_run, merged=merged)
     return 0 if not (args.audit and study.total_invariant_violations) else 1
 
 
@@ -251,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="install a JSON fault plan before the run")
     run.add_argument("--audit", action="store_true",
                      help="run the invariant auditor (exit 1 on violations)")
+    run.add_argument("--metrics", metavar="PATH", default=None,
+                     help="write the run's metrics snapshot to PATH")
+    run.add_argument("--metrics-format", choices=("jsonl", "prom"),
+                     default="jsonl",
+                     help="metrics file format (canonical JSONL or "
+                          "Prometheus text; default jsonl)")
 
     mc = sub.add_parser(
         "mc", help="parallel Monte-Carlo uptime study over independent seeds"
@@ -269,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="install a JSON fault plan in every run")
     mc.add_argument("--audit", action="store_true",
                     help="audit every run (exit 1 on any violation)")
+    mc.add_argument("--metrics", metavar="PATH", default=None,
+                    help="write per-run + merged metrics to PATH "
+                         "(byte-identical at any --workers count)")
+    mc.add_argument("--metrics-format", choices=("jsonl", "prom"),
+                    default="jsonl",
+                    help="metrics file format (canonical JSONL or "
+                         "Prometheus text; default jsonl)")
 
     quote = sub.add_parser("quote", help="prepaid data-credit quote (§4.4)")
     quote.add_argument("--years", type=float, default=50.0)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import MetricsRegistry
 from .events import Event, EventQueue
 from .rng import RandomStreams
 
@@ -121,9 +122,25 @@ class Simulation:
         #: The fault controller, set by :meth:`install_faults`.
         #: Maintenance paths consult it for no-show suppression windows.
         self.fault_controller: Optional[Any] = None
+        #: The run's one metrics registry (see :mod:`repro.obs`): every
+        #: subsystem registers its instruments here, and the runtime
+        #: snapshots it into the :class:`RunResult`.  Deterministic by
+        #: construction — instruments only record what the simulation
+        #: itself computes.
+        self.metrics = MetricsRegistry()
         self._log_index: Dict[str, List[LogRecord]] = {}
         self._entity_id = 0
-        self._executed = 0
+        self._executed_counter = self.metrics.counter("sim_events_executed_total")
+        events = self.events
+        self.metrics.gauge_fn(
+            "sim_peak_pending_events", lambda: events.peak_live, agg="max"
+        )
+        self.metrics.gauge_fn(
+            "sim_queue_compactions", lambda: events.compactions, agg="sum"
+        )
+        self.metrics.gauge_fn(
+            "sim_queue_cancels", lambda: events.cancels, agg="sum"
+        )
         self._stopped = False
 
     def register_entity(self, entity: Any) -> None:
@@ -218,7 +235,7 @@ class Simulation:
         if self.trace_executed is not None:
             self.trace_executed(event)
         event.callback()
-        self._executed += 1
+        self._executed_counter.value += 1
         if self.audit_hook is not None:
             self.audit_hook()
         return True
@@ -237,6 +254,10 @@ class Simulation:
         self._stopped = False
         executed = 0
         pop_until = self.events.pop_until
+        # The executed-events counter is the innermost observable write:
+        # hoist the instrument so each iteration pays one slot store, not
+        # a registry lookup.
+        executed_counter = self._executed_counter
         while not self._stopped:
             event = pop_until(end_time)
             if event is None:
@@ -250,7 +271,7 @@ class Simulation:
             if self.trace_executed is not None:
                 self.trace_executed(event)
             event.callback()
-            self._executed += 1
+            executed_counter.value += 1
             if self.audit_hook is not None:
                 self.audit_hook()
             executed += 1
@@ -263,12 +284,21 @@ class Simulation:
 
     @property
     def executed_events(self) -> int:
-        """Total number of events executed so far."""
-        return self._executed
+        """Total number of events executed so far.
+
+        Compatibility read of the registry-backed counter
+        (``sim_events_executed_total``) — the registry is the single
+        source; this property just names it conveniently.
+        """
+        return self._executed_counter.value
 
     @property
     def peak_pending_events(self) -> int:
-        """High-water mark of the future event list over the run."""
+        """High-water mark of the future event list over the run.
+
+        Compatibility read of the same value the registry's lazy
+        ``sim_peak_pending_events`` gauge samples.
+        """
         return self.events.peak_live
 
     # ------------------------------------------------------------------
@@ -301,7 +331,7 @@ class Simulation:
     def __repr__(self) -> str:
         return (
             f"Simulation(now={self.now:.6g}, pending={len(self.events)}, "
-            f"executed={self._executed})"
+            f"executed={self._executed_counter.value})"
         )
 
 

@@ -117,6 +117,13 @@ class EventQueue:
         self._live = 0
         self._dead = 0  # cancelled entries still occupying the heap
         self._peak = 0
+        #: Heap rebuilds triggered by cancelled-entry pressure.  A plain
+        #: int (not a registry instrument) because the queue must stay
+        #: usable standalone; the owning Simulation exposes it through
+        #: its metrics registry as a lazy gauge.
+        self.compactions = 0
+        #: Live events cancelled out from under the queue (cancel churn).
+        self.cancels = 0
 
     def push(
         self,
@@ -239,6 +246,7 @@ class EventQueue:
         """
         self._live -= 1
         self._dead += 1
+        self.cancels += 1
         if self._dead >= COMPACTION_MIN_DEAD and self._dead > self._live:
             self._compact()
 
@@ -247,6 +255,7 @@ class EventQueue:
         self._heap = [entry for entry in self._heap if not entry[3].cancelled]
         heapify(self._heap)
         self._dead = 0
+        self.compactions += 1
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""The simlint rule registry and the eight shipped rules.
+"""The simlint rule registry and the nine shipped rules.
 
 Each rule guards one determinism or hygiene invariant of the simulator
 (see DESIGN.md "simlint" for the full rationale).  Rules are plain
@@ -28,6 +28,7 @@ SIM_LAYERS = frozenset(
         "city",
         "experiment",
         "faults",
+        "obs",
     }
 )
 
@@ -655,6 +656,61 @@ class FaultRandomnessOutsideStreams(Rule):
                 "RandomStreams generator; use controller.stream_for(spec) "
                 "(or sim.rng('faults:…')) so plan+seed stays bit-reproducible",
             )
+
+
+# ----------------------------------------------------------------------
+# SL009 — wall-clock reads inside sim layers
+# ----------------------------------------------------------------------
+
+@register
+class WallClockInSimLayer(Rule):
+    """Sim layers must never read any process clock — not even the
+    monotonic ones SL001 deliberately allows for benchmark timing."""
+
+    id = "SL009"
+    title = "wall-clock read in a sim layer"
+    rationale = (
+        "SL001 bans epoch clocks everywhere, but perf_counter/monotonic "
+        "stay legal for timing harnesses.  Inside sim layers even those "
+        "are wrong: a monotonic read can only feed a decision or an "
+        "artifact, and either way identical seeds stop producing "
+        "identical runs (or identical snapshots).  Timing belongs one "
+        "layer up — repro.runtime stamps wall_clock_s around the task "
+        "call, and repro.obs snapshots deliberately exclude it."
+    )
+
+    WALL_CLOCK_CALLS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.process_time",
+            "time.process_time_ns",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module or not ctx.module.startswith("repro."):
+            return
+        layer = ctx.module.split(".")[1]
+        if layer not in SIM_LAYERS:
+            return
+        names = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_dotted(node.func, names)
+            if resolved in self.WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {resolved} inside sim layer {layer!r}; clocks "
+                    "live in repro.runtime/cli/benchmarks — use sim.now for "
+                    "simulated time",
+                )
 
 
 def catalog() -> Sequence[Tuple[str, str, str]]:

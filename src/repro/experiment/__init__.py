@@ -22,6 +22,7 @@ from .scenarios import (
     network_collapse,
     owned_only,
     run_scenario,
+    scenario_config,
     staff_turnover,
     underfunded_wallet,
     unmaintained,
@@ -45,6 +46,7 @@ __all__ = [
     "network_collapse",
     "owned_only",
     "run_scenario",
+    "scenario_config",
     "staff_turnover",
     "underfunded_wallet",
     "unmaintained",

@@ -9,7 +9,7 @@ third-party network, an unmaintained owned arm, and the policy ablation
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..analysis.uptime import MonteCarloUptime
 from ..core import units
@@ -91,16 +91,43 @@ SCENARIOS: Dict[str, Callable[[int], FiftyYearConfig]] = {
 }
 
 
+def scenario_config(
+    name: str,
+    seed: int = 2021,
+    horizon: Optional[float] = None,
+    report_interval: Optional[float] = None,
+    overrides: Iterable[Tuple[str, object]] = (),
+) -> FiftyYearConfig:
+    """Build one named scenario's config with the standard overrides.
+
+    The single place the horizon / report-interval / field-override
+    dance happens — :func:`run_scenario`, the CLI's ``run`` command, and
+    :class:`repro.runtime.runner.ScenarioTask` all come through here, so
+    an override applied interactively means exactly what it means inside
+    a Monte-Carlo worker.  ``overrides`` is an iterable of ``(field,
+    value)`` pairs (the picklable-task representation), applied last so
+    a pair may override even ``horizon`` — the precedence
+    :class:`~repro.runtime.runner.ScenarioTask` has always had.
+    """
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}")
+    config = SCENARIOS[name](seed)
+    updates = {}
+    if horizon is not None:
+        updates["horizon"] = horizon
+    if report_interval is not None:
+        updates["report_interval"] = report_interval
+    updates.update(dict(overrides))
+    if updates:
+        config = replace(config, **updates)
+    return config
+
+
 def run_scenario(
     name: str, seed: int = 2021, horizon: Optional[float] = None
 ) -> FiftyYearResult:
     """Build and run one named scenario."""
-    if name not in SCENARIOS:
-        raise KeyError(f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}")
-    config = SCENARIOS[name](seed)
-    if horizon is not None:
-        config = replace(config, horizon=horizon)
-    return FiftyYearExperiment(config).run()
+    return FiftyYearExperiment(scenario_config(name, seed, horizon=horizon)).run()
 
 
 def monte_carlo_uptime(

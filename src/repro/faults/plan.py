@@ -68,6 +68,10 @@ class FaultController:
     the executed fault stream, the injected/fired counters — lives here.
     """
 
+    #: Actions that undo an earlier injection rather than cause harm —
+    #: counted separately as ``faults_restored_total``.
+    RESTORE_ACTIONS = frozenset({"restore", "flap-up", "custodian-return"})
+
     def __init__(self, sim: "Simulation") -> None:
         self.sim = sim
         #: Spec key -> spec, across every installed plan.
@@ -76,8 +80,6 @@ class FaultController:
         self.plan_names: List[str] = []
         #: Ordered record of every fault action that fired.
         self.events: List[FaultRecord] = []
-        #: Engine events scheduled on behalf of specs (incl. restores).
-        self.injected = 0
         #: Half-open maintenance no-show windows, as (start, end).
         self.no_show_windows: List[Tuple[float, float]] = []
 
@@ -90,7 +92,7 @@ class FaultController:
         prefix: str = "fault",
     ) -> None:
         """Schedule one engine event for ``spec`` (clamped to now)."""
-        self.injected += 1
+        self.sim.metrics.counter("faults_injected_total", spec=spec.key()).value += 1
         self.sim.call_at(
             max(when, self.sim.now), callback, label=f"{prefix}:{spec.key()}"
         )
@@ -100,8 +102,19 @@ class FaultController:
         return self.sim.rng(f"faults:{spec.key()}")
 
     def note(self, spec: FaultSpec, action: str, targets: List[str]) -> None:
-        """Append one record to the executed fault stream."""
-        self.events.append((self.sim.now, spec.key(), action, tuple(targets)))
+        """Append one record to the executed fault stream.
+
+        Also bumps the per-spec fired counter (and, for restore-family
+        actions, the restored counter) in the run's metrics registry —
+        fault scheduling is cold path, so the registry lookup per action
+        is fine here, unlike the per-event hot path.
+        """
+        key = spec.key()
+        self.events.append((self.sim.now, key, action, tuple(targets)))
+        metrics = self.sim.metrics
+        metrics.counter("faults_fired_total", spec=key).value += 1
+        if action in self.RESTORE_ACTIONS:
+            metrics.counter("faults_restored_total", spec=key).value += 1
 
     # -- maintenance no-show windows -----------------------------------
     def add_no_show_window(self, start: float, end: float) -> None:
@@ -127,9 +140,18 @@ class FaultController:
 
     # -- reporting ------------------------------------------------------
     @property
+    def injected(self) -> int:
+        """Engine events scheduled on behalf of specs (registry-backed)."""
+        return int(self.sim.metrics.total("faults_injected_total"))
+
+    @property
     def fired(self) -> int:
-        """Fault actions that actually executed."""
-        return len(self.events)
+        """Fault actions that actually executed.
+
+        Reads the registry total, which equals ``len(self.events)`` by
+        construction — :meth:`note` writes both in lockstep.
+        """
+        return int(self.sim.metrics.total("faults_fired_total"))
 
     def stream_tuple(self) -> Tuple[FaultRecord, ...]:
         """The executed fault stream as an immutable, picklable tuple."""

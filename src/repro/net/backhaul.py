@@ -59,8 +59,21 @@ class Backhaul(Entity):
         super().__init__(sim, name)
         self.outage_model = outage_model or OutageModel()
         self.up = True
-        self.outages = 0
+        # Outage accounting lives in the run's metrics registry; the
+        # ``outages`` attribute name survives as a property below.
+        # ``downtime_s`` stays a plain float (simulated-seconds sum) and
+        # is exported through a lazy gauge sampled at snapshot time.
+        self._c_outages = sim.metrics.counter(
+            "net_backhaul_outages_total", tier=self.TIER, entity=self.name
+        )
         self.downtime_s = 0.0
+        sim.metrics.gauge_fn(
+            "net_backhaul_downtime_seconds",
+            lambda: self.downtime_s,
+            agg="sum",
+            tier=self.TIER,
+            entity=self.name,
+        )
         self._down_since: Optional[float] = None
 
     def on_deploy(self) -> None:
@@ -75,7 +88,7 @@ class Backhaul(Entity):
         if not self.alive:
             return
         self.up = False
-        self.outages += 1
+        self._c_outages.value += 1
         self._down_since = self.sim.now
         self.sim.record("backhaul-outage", self.name)
         rng = self.sim.rng("backhaul-outages")
@@ -91,6 +104,15 @@ class Backhaul(Entity):
         self.up = True
         self.sim.record("backhaul-restore", self.name)
         self._schedule_next_outage()
+
+    @property
+    def outages(self) -> int:
+        """Natural outages begun so far (registry-backed)."""
+        return self._c_outages.value
+
+    @outages.setter
+    def outages(self, value: int) -> None:
+        self._c_outages.value = value
 
     def carries_traffic(self) -> bool:
         """True if a packet offered right now would get through.

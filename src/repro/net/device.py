@@ -98,11 +98,35 @@ class EdgeDevice(Entity):
         #: *properties* of infrastructure, not specific instances.
         self.gateway_directory = None
 
-        self.attempts = 0
-        self.energy_denied = 0
-        self.radio_lost = 0
-        self.no_gateway = 0
-        self.delivered = 0
+        # Duty-cycle accounting lives in the run's metrics registry —
+        # one labelled instrument per outcome, registered once here and
+        # bumped by direct reference in the warm path.  The legacy
+        # attribute names remain as read/write properties below.
+        metrics = sim.metrics
+        self._c_attempts = metrics.counter(
+            "net_reports_attempted_total", tier=self.TIER, entity=self.name
+        )
+        self._c_delivered = metrics.counter(
+            "net_reports_delivered_total", tier=self.TIER, entity=self.name
+        )
+        self._c_energy_denied = metrics.counter(
+            "net_reports_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="energy",
+        )
+        self._c_no_gateway = metrics.counter(
+            "net_reports_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="no-gateway",
+        )
+        self._c_radio_lost = metrics.counter(
+            "net_reports_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="radio",
+        )
         self._task: Optional[PeriodicTask] = None
         self._failure: Optional[FailureProcess] = None
         self._last_energy_step: float = 0.0
@@ -186,9 +210,9 @@ class EdgeDevice(Entity):
     def _report(self) -> None:
         if not self.alive or self.forced_degradations:
             return  # dead, or muted by an injected degrade window
-        self.attempts += 1
+        self._c_attempts.value += 1
         if not self._pay_energy():
-            self.energy_denied += 1
+            self._c_energy_denied.value += 1
             return
         packet = self.make_packet()
         heard_by: Optional[Gateway] = None
@@ -210,13 +234,13 @@ class EdgeDevice(Entity):
             if tried == 4:
                 break
         if tried == 0:
-            self.no_gateway += 1
+            self._c_no_gateway.value += 1
             return
         if heard_by is None:
-            self.radio_lost += 1
+            self._c_radio_lost.value += 1
             return
         if heard_by.receive(packet):
-            self.delivered += 1
+            self._c_delivered.value += 1
 
     def _pay_energy(self) -> bool:
         if self.power is None:
@@ -245,6 +269,55 @@ class EdgeDevice(Entity):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    # Compatibility views over the registry-backed counters.  Setters
+    # exist because corruption-injection tests (and any legacy caller)
+    # assign these directly; the write lands in the same instrument the
+    # duty cycle bumps, so there is exactly one source of truth.
+    @property
+    def attempts(self) -> int:
+        """Scheduled reports attempted (registry-backed)."""
+        return self._c_attempts.value
+
+    @attempts.setter
+    def attempts(self, value: int) -> None:
+        self._c_attempts.value = value
+
+    @property
+    def delivered(self) -> int:
+        """Reports that reached a recording endpoint (registry-backed)."""
+        return self._c_delivered.value
+
+    @delivered.setter
+    def delivered(self, value: int) -> None:
+        self._c_delivered.value = value
+
+    @property
+    def energy_denied(self) -> int:
+        """Reports skipped for lack of harvested energy (registry-backed)."""
+        return self._c_energy_denied.value
+
+    @energy_denied.setter
+    def energy_denied(self, value: int) -> None:
+        self._c_energy_denied.value = value
+
+    @property
+    def no_gateway(self) -> int:
+        """Reports with no live compatible gateway in range (registry-backed)."""
+        return self._c_no_gateway.value
+
+    @no_gateway.setter
+    def no_gateway(self, value: int) -> None:
+        self._c_no_gateway.value = value
+
+    @property
+    def radio_lost(self) -> int:
+        """Reports lost on the radio link (registry-backed)."""
+        return self._c_radio_lost.value
+
+    @radio_lost.setter
+    def radio_lost(self, value: int) -> None:
+        self._c_radio_lost.value = value
+
     @property
     def delivery_rate(self) -> float:
         """Fraction of scheduled reports that reached the backend."""

@@ -52,11 +52,35 @@ class Gateway(Entity):
         self.position = position
         self.role = role
         self.blocklist: Set[str] = set()
-        self.packets_received = 0
-        self.packets_forwarded = 0
-        self.drops_blocklist = 0
-        self.drops_backhaul = 0
-        self.drops_endpoint = 0
+        # Per-hop packet accounting in the run's metrics registry; the
+        # legacy attribute names remain as read/write properties below,
+        # and the invariant auditor's link-conservation check reads the
+        # same instruments the forwarding path writes.
+        metrics = sim.metrics
+        self._c_received = metrics.counter(
+            "net_packets_received_total", tier=self.TIER, entity=self.name
+        )
+        self._c_forwarded = metrics.counter(
+            "net_packets_forwarded_total", tier=self.TIER, entity=self.name
+        )
+        self._c_drop_blocklist = metrics.counter(
+            "net_packets_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="blocklist",
+        )
+        self._c_drop_backhaul = metrics.counter(
+            "net_packets_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="backhaul",
+        )
+        self._c_drop_endpoint = metrics.counter(
+            "net_packets_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="endpoint",
+        )
 
     def block(self, device_name: str) -> None:
         """Add a known-bad device to the forwarding blocklist (§3.2)."""
@@ -84,9 +108,9 @@ class Gateway(Entity):
         """
         if not self.hears():
             return False
-        self.packets_received += 1
+        self._c_received.value += 1
         if packet.source in self.blocklist:
-            self.drops_blocklist += 1
+            self._c_drop_blocklist.value += 1
             return False
         return self._forward(packet)
 
@@ -100,12 +124,59 @@ class Gateway(Entity):
                 if deliver is None:
                     continue
                 if deliver(packet, via_gateway=self.name, via_backhaul=backhaul.name):
-                    self.packets_forwarded += 1
+                    self._c_forwarded.value += 1
                     return True
-                self.drops_endpoint += 1
+                self._c_drop_endpoint.value += 1
                 return False
-        self.drops_backhaul += 1
+        self._c_drop_backhaul.value += 1
         return False
+
+    # Compatibility views over the registry-backed counters (setters for
+    # corruption-injection tests; reads and writes share one instrument).
+    @property
+    def packets_received(self) -> int:
+        """Radio-decoded packets accepted (registry-backed)."""
+        return self._c_received.value
+
+    @packets_received.setter
+    def packets_received(self, value: int) -> None:
+        self._c_received.value = value
+
+    @property
+    def packets_forwarded(self) -> int:
+        """Packets that reached a recording endpoint (registry-backed)."""
+        return self._c_forwarded.value
+
+    @packets_forwarded.setter
+    def packets_forwarded(self, value: int) -> None:
+        self._c_forwarded.value = value
+
+    @property
+    def drops_blocklist(self) -> int:
+        """Packets refused by the forwarding blocklist (registry-backed)."""
+        return self._c_drop_blocklist.value
+
+    @drops_blocklist.setter
+    def drops_blocklist(self, value: int) -> None:
+        self._c_drop_blocklist.value = value
+
+    @property
+    def drops_backhaul(self) -> int:
+        """Packets lost to a down backhaul (registry-backed)."""
+        return self._c_drop_backhaul.value
+
+    @drops_backhaul.setter
+    def drops_backhaul(self, value: int) -> None:
+        self._c_drop_backhaul.value = value
+
+    @property
+    def drops_endpoint(self) -> int:
+        """Packets refused by a dark endpoint (registry-backed)."""
+        return self._c_drop_endpoint.value
+
+    @drops_endpoint.setter
+    def drops_endpoint(self, value: int) -> None:
+        self._c_drop_endpoint.value = value
 
     def commissioning_hours(self) -> float:
         """Labor to stand up a replacement for this gateway.
@@ -181,15 +252,29 @@ class ThirdPartyGateway(Gateway):
         #: Set by :class:`~repro.net.helium.HeliumNetwork` so forwarding is
         #: refused once the prepaid wallet runs dry.
         self.wallet = None
-        self.drops_unpaid = 0
+        self._c_drop_unpaid = sim.metrics.counter(
+            "net_packets_dropped_total",
+            tier=self.TIER,
+            entity=self.name,
+            reason="unpaid",
+        )
         if asn is not None:
             self.tags["asn"] = str(asn)
+
+    @property
+    def drops_unpaid(self) -> int:
+        """Packets refused because the prepaid wallet was dry (registry-backed)."""
+        return self._c_drop_unpaid.value
+
+    @drops_unpaid.setter
+    def drops_unpaid(self, value: int) -> None:
+        self._c_drop_unpaid.value = value
 
     def receive(self, packet: Packet) -> bool:
         if not self.hears():
             return False
         if self.wallet is not None and not self.wallet.debit(packet.credit_units):
-            self.drops_unpaid += 1
+            self._c_drop_unpaid.value += 1
             return False
         return super().receive(packet)
 

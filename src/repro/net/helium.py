@@ -178,6 +178,25 @@ class HeliumNetwork:
         self.churn = churn
         self.lora = lora
         self.wallet = wallet or DataCreditWallet()
+        # The wallet dataclass stays plain (it is used standalone in the
+        # econ layer); the network exports its fields as lazy gauges so
+        # snapshots capture the end-of-run wallet state.  ``balance``
+        # merges by min — the tightest remaining runway across runs.
+        wallet_ref = self.wallet
+        metrics = sim.metrics
+        metrics.gauge_fn(
+            "helium_wallet_balance_credits", lambda: wallet_ref.balance, agg="min"
+        )
+        metrics.gauge_fn(
+            "helium_wallet_spent_credits", lambda: wallet_ref.spent, agg="sum"
+        )
+        metrics.gauge_fn(
+            "helium_wallet_refusals", lambda: wallet_ref.refusals, agg="sum"
+        )
+        metrics.gauge_fn(
+            "helium_wallet_drained_credits", lambda: wallet_ref.drained, agg="sum"
+        )
+        self._c_hotspots_spawned = metrics.counter("helium_hotspots_spawned_total")
         self.hotspots: List[ThirdPartyGateway] = []
         self.backhauls: Dict[int, OpaqueBackhaul] = {}
         self._asn_pool: List[int] = []
@@ -230,6 +249,7 @@ class HeliumNetwork:
         hotspot.wallet = self.wallet
         hotspot.deploy()
         self.hotspots.append(hotspot)
+        self._c_hotspots_spawned.value += 1
         return hotspot
 
     def _schedule_arrival(self) -> None:

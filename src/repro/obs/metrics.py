@@ -1,0 +1,316 @@
+"""Typed, deterministic metric instruments and their registry.
+
+Three instrument kinds, mirroring the Prometheus vocabulary but with a
+determinism contract Prometheus does not need:
+
+* :class:`Counter` — a monotone integer.  The hot paths (the engine's
+  run loop, a device's duty cycle) hold a direct reference to the
+  instrument and bump ``counter.value += 1``: a plain attribute store on
+  a ``__slots__`` object, no per-event dict lookup.
+* :class:`Gauge` — a point-in-time numeric value with an explicit merge
+  aggregation (``"sum"``, ``"max"``, or ``"min"`` — never "last", which
+  would make cross-worker merges order-dependent).  A gauge may be
+  *lazy*: backed by a zero-argument callable sampled at snapshot time,
+  so observing a value (a queue's high-water mark, a wallet balance)
+  costs nothing until someone asks.
+* :class:`Histogram` — integer counts over **fixed** bucket edges chosen
+  at registration.  No adaptive bucketing, no float sum field: bucket
+  counts are integers, so merging is exact and order-independent.
+
+Instruments are keyed by ``(name, sorted label tuple)`` in a
+:class:`MetricsRegistry`; :meth:`MetricsRegistry.snapshot` freezes the
+whole registry into a picklable
+:class:`~repro.obs.snapshot.MetricsSnapshot`.
+
+Nothing here reads a clock or draws randomness: every value is a pure
+function of the simulation's execution, which is what lets per-worker
+snapshots reassemble bit-identically at any worker count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .snapshot import (
+    LabelPairs,
+    MetricsSnapshot,
+    canonical_labels,
+)
+
+Number = Union[int, float]
+
+#: The gauge merge aggregations that keep ``MetricsSnapshot.merge``
+#: order-independent.  ("last" is deliberately absent: it would make the
+#: merged value depend on worker scheduling.)
+GAUGE_AGGS = ("sum", "max", "min")
+
+
+class Counter:
+    """A monotone event count.
+
+    Hot paths bump :attr:`value` directly — ``self._c.value += 1`` is a
+    slot store, the cheapest observable write Python offers.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (cold-path convenience; hot paths bump value)."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {dict(self.labels)!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value with an explicit merge aggregation.
+
+    Either *set* (``gauge.set(v)`` / ``gauge.value = v``) or *lazy*
+    (constructed with ``fn``, sampled when the registry snapshots).
+    """
+
+    __slots__ = ("name", "labels", "agg", "value", "fn")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs,
+        agg: str = "max",
+        fn: Optional[Callable[[], Number]] = None,
+    ) -> None:
+        if agg not in GAUGE_AGGS:
+            raise ValueError(f"agg must be one of {GAUGE_AGGS}, got {agg!r}")
+        self.name = name
+        self.labels = labels
+        self.agg = agg
+        self.value: Number = 0
+        self.fn = fn
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def read(self) -> Number:
+        """Current value — the callable's if lazy, the stored one otherwise."""
+        if self.fn is not None:
+            return self.fn()
+        return self.value
+
+    def __repr__(self) -> str:
+        kind = "lazy" if self.fn is not None else "set"
+        return f"Gauge({self.name!r}, {dict(self.labels)!r}, agg={self.agg!r}, {kind})"
+
+
+class Histogram:
+    """Integer counts over fixed, registration-time bucket edges.
+
+    ``edges`` are the upper-inclusive bucket boundaries; observations
+    above the last edge land in the implicit overflow bucket, so
+    ``len(bucket_counts) == len(edges) + 1`` and
+    ``sum(bucket_counts) == count`` always.  Fixed edges + integer
+    counts make merging exact and invariant under observation order.
+    """
+
+    __slots__ = ("name", "labels", "edges", "bucket_counts")
+
+    def __init__(
+        self, name: str, labels: LabelPairs, edges: Tuple[float, ...]
+    ) -> None:
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"edges must be strictly increasing, got {edges}")
+        self.name = name
+        self.labels = labels
+        self.edges = tuple(float(e) for e in edges)
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+
+    def observe(self, value: float) -> None:
+        """Count one observation (upper-inclusive, Prometheus ``le``)."""
+        self.bucket_counts[bisect_left(self.edges, value)] += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations — derived, so ``observe`` stays one store."""
+        return sum(self.bucket_counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, {dict(self.labels)!r}, "
+            f"edges={self.edges}, count={self.count})"
+        )
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All instruments of one simulation run, keyed by (name, labels).
+
+    Registration is lazy and idempotent: asking for an existing
+    ``(name, labels)`` key returns the same instrument, so owners can
+    hold direct references (the hot-path contract) while late readers
+    find the instrument by name.  A name is bound to one instrument
+    kind — re-registering ``x`` as a counter after it was a gauge is a
+    programming error and raises immediately.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelPairs], Instrument] = {}
+        self._kinds: Dict[str, type] = {}
+        self._gauge_aggs: Dict[str, str] = {}
+        self._histogram_edges: Dict[str, Tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (get-or-create)
+    # ------------------------------------------------------------------
+    def _claim(self, name: str, kind: type) -> None:
+        bound = self._kinds.setdefault(name, kind)
+        if bound is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {bound.__name__}, "
+                f"cannot re-register as {kind.__name__}"
+            )
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter at ``(name, labels)``."""
+        self._claim(name, Counter)
+        key = (name, canonical_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Counter(name, key[1])
+            self._instruments[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, agg: str = "max", **labels: str) -> Gauge:
+        """Get or create a settable gauge at ``(name, labels)``."""
+        self._claim(name, Gauge)
+        key = (name, canonical_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            self._check_agg(name, agg)
+            instrument = Gauge(name, key[1], agg=agg)
+            self._instruments[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def gauge_fn(
+        self, name: str, fn: Callable[[], Number], agg: str = "max", **labels: str
+    ) -> Gauge:
+        """Register a lazy gauge sampled at snapshot time.
+
+        Re-registering the same key replaces the callable — entity
+        rebuilds (a replacement gateway taking a dead one's name) must
+        not leave a gauge reading a corpse.
+        """
+        key = (name, canonical_labels(labels))
+        self._claim(name, Gauge)
+        self._check_agg(name, agg)
+        instrument = Gauge(name, key[1], agg=agg, fn=fn)
+        self._instruments[key] = instrument
+        return instrument
+
+    def _check_agg(self, name: str, agg: str) -> None:
+        bound = self._gauge_aggs.setdefault(name, agg)
+        if bound != agg:
+            raise ValueError(
+                f"gauge {name!r} already registered with agg={bound!r}, "
+                f"cannot re-register with agg={agg!r}"
+            )
+
+    def histogram(
+        self, name: str, edges: Tuple[float, ...] = (), **labels: str
+    ) -> Histogram:
+        """Get or create the histogram at ``(name, labels)``.
+
+        All label sets of one histogram name share the edges fixed at
+        first registration (required for cross-label and cross-run
+        merging); a later conflicting ``edges`` raises.
+        """
+        self._claim(name, Histogram)
+        key = (name, canonical_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            if edges and tuple(float(e) for e in edges) != instrument.edges:  # type: ignore[union-attr]
+                raise ValueError(
+                    f"histogram {name!r} already registered with edges "
+                    f"{instrument.edges}, got {tuple(edges)}"  # type: ignore[union-attr]
+                )
+            return instrument  # type: ignore[return-value]
+        bound = self._histogram_edges.get(name)
+        if bound is not None:
+            if edges and tuple(float(e) for e in edges) != bound:
+                raise ValueError(
+                    f"histogram {name!r} already registered with edges "
+                    f"{bound}, got {tuple(edges)}"
+                )
+            edges = bound
+        elif not edges:
+            raise ValueError(f"first registration of histogram {name!r} needs edges")
+        instrument = Histogram(name, key[1], tuple(edges))
+        self._histogram_edges[name] = instrument.edges
+        self._instruments[key] = instrument
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def total(self, name: str, **label_filter: str) -> Number:
+        """Sum of all counter values under ``name`` matching the filter.
+
+        The per-tier aggregation the auditor and run summaries read —
+        e.g. ``total("net_reports_delivered_total", tier="device")``.
+        """
+        wanted = sorted(label_filter.items())
+        out: Number = 0
+        for (iname, labels), instrument in self._instruments.items():
+            if iname != name or not isinstance(instrument, Counter):
+                continue
+            if all(pair in labels for pair in wanted):
+                out += instrument.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kinds
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every instrument into an immutable, picklable snapshot.
+
+        Lazy gauges are sampled here.  Entries are sorted by
+        ``(name, labels)``, so two registries holding the same values
+        snapshot to equal — and identically serialized — objects no
+        matter what order their instruments were registered in.
+        """
+        counters = []
+        gauges = []
+        histograms = []
+        for (name, labels), instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                counters.append((name, labels, instrument.value))
+            elif isinstance(instrument, Gauge):
+                gauges.append((name, labels, instrument.agg, instrument.read()))
+            else:
+                histograms.append(
+                    (
+                        name,
+                        labels,
+                        instrument.edges,
+                        tuple(instrument.bucket_counts),
+                        instrument.count,
+                    )
+                )
+        return MetricsSnapshot(
+            counters=tuple(sorted(counters)),
+            gauges=tuple(sorted(gauges)),
+            histograms=tuple(sorted(histograms)),
+        )

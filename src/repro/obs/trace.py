@@ -1,0 +1,96 @@
+"""Deterministic event spans: tracing sampled by sequence, not by clock.
+
+A conventional tracer samples by wall time ("one span per 100 ms"),
+which makes two runs of the same seed produce different traces.
+:class:`EventTracer` samples by the event's *sequence number* —
+``sequence % every == 0`` — a pure function of the schedule, so the
+trace of a run is as reproducible as the run itself.
+
+The tracer **chains** with any hook already installed on
+``Simulation.trace_executed`` (the golden-trace fixtures own that hook
+in tests) and is opt-in: nothing constructs one unless asked, so the
+default hot loop keeps its ``trace_executed is None`` fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """One sampled event execution."""
+
+    sequence: int
+    time: float
+    priority: int
+    label: str
+
+
+class EventTracer:
+    """Collect sampled :class:`Span` records from a simulation run.
+
+    Parameters
+    ----------
+    every:
+        Keep one span per ``every`` sequence numbers (1 = every event).
+    limit:
+        Optional hard cap on retained spans; once reached, further
+        samples are counted in :attr:`dropped` but not stored, so a
+        fifty-year run cannot balloon memory.
+    """
+
+    def __init__(self, every: int = 1000, limit: Optional[int] = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.every = every
+        self.limit = limit
+        self.spans: List[Span] = []
+        self.sampled = 0
+        self.dropped = 0
+        self._chained: Optional[Callable[[Any], None]] = None
+        self._sim: Optional[Any] = None
+
+    def install(self, sim: Any) -> "EventTracer":
+        """Attach to ``sim.trace_executed``, chaining any existing hook."""
+        if self._sim is not None:
+            raise RuntimeError("tracer already installed")
+        self._sim = sim
+        self._chained = sim.trace_executed
+        sim.trace_executed = self._on_event
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the previously installed hook."""
+        if self._sim is None:
+            return
+        self._sim.trace_executed = self._chained
+        self._sim = None
+        self._chained = None
+
+    def _on_event(self, event: Any) -> None:
+        if self._chained is not None:
+            self._chained(event)
+        if event.sequence % self.every:
+            return
+        self.sampled += 1
+        if self.limit is not None and len(self.spans) >= self.limit:
+            self.dropped += 1
+            return
+        self.spans.append(
+            Span(
+                sequence=event.sequence,
+                time=event.time,
+                priority=event.priority,
+                label=event.label,
+            )
+        )
+
+    def as_tuples(self):
+        """Spans as plain tuples — picklable, diffable, hashable."""
+        return tuple(
+            (s.sequence, s.time, s.priority, s.label) for s in self.spans
+        )

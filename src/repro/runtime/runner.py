@@ -12,9 +12,11 @@ dispatched:
    gets ``RandomStreams(base_seed).fork(i).seed``, a 128-bit integer
    that fully reconstructs its stream family in any process.
 2. Workers never share state; each returns a structured
-   :class:`RunResult` (sample, wall-clock, event count, peak pending
-   queue) and results are reassembled in index order regardless of
-   completion order.
+   :class:`RunResult` (sample, wall-clock, and the run's full
+   :class:`~repro.obs.MetricsSnapshot`) and results are reassembled in
+   index order regardless of completion order.  Snapshots merge
+   order-independently, so a study's merged metrics are bit-identical
+   at any worker count.
 
 When ``workers=1``, or when the platform cannot host a process pool
 (sandboxes without semaphores, missing ``fork``/``spawn`` support), the
@@ -35,6 +37,7 @@ from ..analysis.uptime import MonteCarloUptime
 from ..core import units
 from ..core.rng import RandomStreams
 from ..faults import FaultPlan, InvariantAuditor
+from ..obs import EMPTY_SNAPSHOT, MetricsSnapshot, merge_all
 
 #: A unit of Monte-Carlo work: ``task(index, seed)``.  Must be picklable
 #: (a module-level function or a frozen dataclass like ScenarioTask) for
@@ -60,28 +63,60 @@ def derive_seeds(base_seed: int, runs: int) -> List[int]:
 
 @dataclass(frozen=True)
 class RunResult:
-    """Structured outcome of one Monte-Carlo run."""
+    """Structured outcome of one Monte-Carlo run.
+
+    The run's telemetry travels as one picklable
+    :class:`~repro.obs.MetricsSnapshot`; the historical per-field
+    counters (``events_executed`` and friends) survive as derived
+    read-only properties over it, so existing aggregation code and
+    benchmarks read identical values from the new representation.
+    ``wall_clock_s`` stays a plain field *outside* the snapshot: it is
+    the one legitimately nondeterministic observation, and keeping it
+    out of the snapshot is what lets metrics files be byte-identical
+    across worker counts.
+    """
 
     index: int
     seed: int
     #: The statistic being aggregated (weekly uptime for scenario tasks).
     sample: float
     wall_clock_s: float = 0.0
-    events_executed: int = 0
-    peak_pending_events: int = 0
-    #: Fault-injection accounting (zero unless the task carried a plan).
-    faults_injected: int = 0
-    faults_fired: int = 0
+    #: The run's full metrics snapshot (empty for bare-float tasks).
+    metrics: MetricsSnapshot = EMPTY_SNAPSHOT
     #: The executed fault event stream — ``(time, spec key, action,
     #: target names)`` tuples in execution order.  Crossing process
     #: boundaries intact is the point: the property suite asserts this
     #: stream is bit-identical at any worker count.
     fault_stream: Tuple[Tuple[float, str, str, Tuple[str, ...]], ...] = ()
-    #: Invariant violations collected by the run's auditor (0 when
-    #: auditing was off *or* the run was clean; see the task's flag).
-    invariant_violations: int = 0
     #: Full experiment result, present only when the task keeps it.
     detail: object = field(default=None, compare=False)
+
+    # -- derived compatibility reads over the snapshot ------------------
+    @property
+    def events_executed(self) -> int:
+        """Events the run's engine executed (from the snapshot)."""
+        return int(self.metrics.counter_value("sim_events_executed_total"))
+
+    @property
+    def peak_pending_events(self) -> int:
+        """Pending-queue high-water mark (from the snapshot)."""
+        return int(self.metrics.gauge_value("sim_peak_pending_events"))
+
+    @property
+    def faults_injected(self) -> int:
+        """Fault events scheduled (zero unless the task carried a plan)."""
+        return int(self.metrics.counter_value("faults_injected_total"))
+
+    @property
+    def faults_fired(self) -> int:
+        """Fault actions that actually executed."""
+        return int(self.metrics.counter_value("faults_fired_total"))
+
+    @property
+    def invariant_violations(self) -> int:
+        """Violations the run's auditor collected (0 when auditing was
+        off *or* the run was clean; see the task's flag)."""
+        return int(self.metrics.gauge_value("run_invariant_violations"))
 
 
 @dataclass(frozen=True)
@@ -119,6 +154,10 @@ class MonteCarloStudy:
     def total_invariant_violations(self) -> int:
         """Invariant violations collected across all runs."""
         return sum(r.invariant_violations for r in self.runs)
+
+    def merged_metrics(self) -> "MetricsSnapshot":
+        """All runs' snapshots merged into one (order-independent)."""
+        return merge_all(r.metrics for r in self.runs)
 
     def summary_lines(self) -> List[str]:
         """Headline rows for CLI / benchmark output."""
@@ -171,15 +210,15 @@ class ScenarioTask:
     def __call__(self, index: int, seed: int) -> RunResult:
         # Imported lazily: repro.experiment itself builds on repro.runtime.
         from ..experiment.fifty_year import FiftyYearExperiment
-        from ..experiment.scenarios import SCENARIOS
+        from ..experiment.scenarios import scenario_config
 
-        started = time.perf_counter()
-        config = SCENARIOS[self.scenario](seed)
-        config = replace(config, horizon=self.horizon)
-        if self.report_interval is not None:
-            config = replace(config, report_interval=self.report_interval)
-        if self.overrides:
-            config = replace(config, **dict(self.overrides))
+        config = scenario_config(
+            self.scenario,
+            seed,
+            horizon=self.horizon,
+            report_interval=self.report_interval,
+            overrides=self.overrides,
+        )
         experiment = FiftyYearExperiment(config)
         controller = None
         if self.faults is not None:
@@ -192,20 +231,18 @@ class ScenarioTask:
         result = experiment.run()
         if auditor is not None:
             auditor.check_now()
+            experiment.sim.metrics.gauge(
+                "run_invariant_violations", agg="sum"
+            ).set(len(auditor.violations))
+        # No self-timing here: ``_execute`` stamps wall_clock_s, so the
+        # snapshot stays free of nondeterministic observations.
         return RunResult(
             index=index,
             seed=seed,
             sample=result.overall.uptime,
-            wall_clock_s=time.perf_counter() - started,
-            events_executed=experiment.sim.executed_events,
-            peak_pending_events=experiment.sim.peak_pending_events,
-            faults_injected=controller.injected if controller is not None else 0,
-            faults_fired=controller.fired if controller is not None else 0,
+            metrics=experiment.sim.metrics.snapshot(),
             fault_stream=(
                 controller.stream_tuple() if controller is not None else ()
-            ),
-            invariant_violations=(
-                len(auditor.violations) if auditor is not None else 0
             ),
             detail=result if self.keep_result else None,
         )
@@ -214,12 +251,21 @@ class ScenarioTask:
 def _execute(task: MonteCarloTask, index: int, seed: int) -> RunResult:
     """Run one task invocation and normalize its return to a RunResult.
 
-    Module-level so it pickles for the process pool.
+    Module-level so it pickles for the process pool.  Timing lives here
+    — not in the tasks — so *every* run reports ``wall_clock_s``, bare
+    floats included, and sim-layer code never touches the wall clock.
+    A task that already stamped its own timing keeps it.
     """
+    started = time.perf_counter()
     outcome = task(index, seed)
+    elapsed = time.perf_counter() - started
     if isinstance(outcome, RunResult):
+        if outcome.wall_clock_s == 0.0:
+            outcome = replace(outcome, wall_clock_s=elapsed)
         return outcome
-    return RunResult(index=index, seed=seed, sample=float(outcome))
+    return RunResult(
+        index=index, seed=seed, sample=float(outcome), wall_clock_s=elapsed
+    )
 
 
 class MonteCarloRunner:

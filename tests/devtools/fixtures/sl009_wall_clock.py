@@ -1,0 +1,34 @@
+"""Fixture: SL009 violations (wall-clock reads inside a sim layer).
+
+Never imported — read from disk by the simlint tests with a
+``repro.core.*`` module name.  Keep the line layout stable.
+"""
+
+import time
+from time import monotonic, perf_counter
+
+
+def measure_step(sim) -> float:
+    started = time.perf_counter()                    # line 12: SL009
+    sim.step()
+    return time.perf_counter() - started             # line 14: SL009
+
+
+def stamp_record() -> float:
+    return monotonic()                               # line 18: SL009
+
+
+def cpu_budget_left(limit_s: float) -> bool:
+    return time.process_time() < limit_s             # line 22: SL009
+
+
+def aliased_measure() -> float:
+    return perf_counter()                            # line 26: SL009
+
+
+def fine_simulated_time(sim) -> float:
+    return sim.now
+
+
+def fine_sleepless(sim, horizon: float) -> None:
+    sim.run_until(horizon)

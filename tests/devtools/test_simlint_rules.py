@@ -30,10 +30,10 @@ def lines_for(findings, rule):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert [rule.id for rule in RULES] == [
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008",
+            "SL008", "SL009",
         ]
 
     def test_every_rule_documented(self):
@@ -233,6 +233,37 @@ class TestSL008FaultRandomness:
         source = "def f(model):\n    return model.exponential(2.0)\n"
         findings = lint_source(source, module="repro.faults.spec")
         assert lines_for(findings, "SL008") == [2]
+
+
+class TestSL009WallClockInSimLayer:
+    def test_exact_lines(self):
+        findings = fixture_findings(
+            "sl009_wall_clock.py", module="repro.core.sl009_wall_clock"
+        )
+        assert {f.rule for f in findings} == {"SL009"}
+        assert lines_for(findings, "SL009") == [12, 14, 18, 22, 26]
+
+    def test_rule_scoped_to_sim_layers(self):
+        # The identical source in runtime/cli (or module-less) is fine:
+        # that is exactly where timing harnesses belong.
+        path = FIXTURES / "sl009_wall_clock.py"
+        source = path.read_text()
+        assert lint_source(source, module="repro.runtime.runner") == []
+        assert lint_source(source, module="repro.cli") == []
+        assert lint_source(source) == []
+
+    def test_obs_layer_in_scope(self):
+        source = "import time\nx = time.monotonic()\n"
+        findings = lint_source(source, module="repro.obs.trace")
+        assert lines_for(findings, "SL009") == [2]
+
+    def test_epoch_clock_in_sim_layer_fires_both_rules(self):
+        # time.time() in a sim layer is doubly wrong: SL001 (epoch clock
+        # anywhere) and SL009 (any clock in a sim layer).
+        source = "import time\nx = time.time()\n"
+        findings = lint_source(source, module="repro.net.device")
+        assert lines_for(findings, "SL001") == [2]
+        assert lines_for(findings, "SL009") == [2]
 
 
 class TestCleanModule:

@@ -1,0 +1,169 @@
+"""Unit tests for repro.obs instruments and the MetricsRegistry."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    EMPTY_SNAPSHOT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    canonical_labels,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_bumps(self):
+        c = Counter("x_total", ())
+        assert c.value == 0
+        c.value += 1
+        c.inc()
+        c.inc(3)
+        assert c.value == 5
+
+    def test_slots_no_dict(self):
+        counter = Counter("x_total", ())
+        with pytest.raises(AttributeError):
+            counter.extra = 1
+
+
+class TestGauge:
+    def test_rejects_unknown_agg(self):
+        with pytest.raises(ValueError, match="agg must be one of"):
+            Gauge("g", (), agg="last")
+
+    def test_set_and_read(self):
+        g = Gauge("g", (), agg="max")
+        g.set(7)
+        assert g.read() == 7
+
+    def test_lazy_reads_callable(self):
+        box = {"v": 0}
+        g = Gauge("g", (), agg="sum", fn=lambda: box["v"])
+        box["v"] = 42
+        assert g.read() == 42
+
+
+class TestHistogram:
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (), edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (), edges=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", (), edges=())
+
+    def test_observe_buckets_inclusive_upper_and_overflow(self):
+        h = Histogram("h", (), edges=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(v)
+        # upper-inclusive: 1.0 lands in the first bucket, 10.0 in the
+        # second, 11.0 in the overflow bucket.
+        assert h.bucket_counts == [2, 2, 1]
+        assert h.count == 5
+        assert sum(h.bucket_counts) == h.count
+
+
+class TestRegistryKeying:
+    def test_counter_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", tier="device", entity="d1")
+        b = reg.counter("x_total", entity="d1", tier="device")
+        assert a is b  # label order cannot mint a second instrument
+        assert len(reg) == 1
+
+    def test_distinct_labels_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", entity="d1")
+        b = reg.counter("x_total", entity="d2")
+        assert a is not b
+        a.value += 3
+        assert reg.total("x_total") == 3
+        assert reg.total("x_total", entity="d2") == 0
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as Counter"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered as Counter"):
+            reg.histogram("x", edges=(1.0,))
+
+    def test_gauge_agg_bound_per_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", agg="max", entity="a")
+        with pytest.raises(ValueError, match="agg"):
+            reg.gauge("g", agg="sum", entity="b")
+
+    def test_gauge_fn_reregistration_replaces_callable(self):
+        reg = MetricsRegistry()
+        reg.gauge_fn("g", lambda: 1, agg="max")
+        reg.gauge_fn("g", lambda: 2, agg="max")
+        assert reg.snapshot().gauge_value("g") == 2
+
+    def test_histogram_edges_fixed_at_first_registration(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0), entity="a")
+        # Same name, new label set: inherits the bound edges.
+        h2 = reg.histogram("h", entity="b")
+        assert h2.edges == (1.0, 2.0)
+        with pytest.raises(ValueError, match="already registered with edges"):
+            reg.histogram("h", edges=(5.0,), entity="c")
+        with pytest.raises(ValueError, match="needs edges"):
+            reg.histogram("fresh")
+
+    def test_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        assert "x" in reg
+        assert "y" not in reg
+
+
+class TestSnapshotting:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("c", tier="device").value = 4
+        reg.gauge("g", agg="max").set(9)
+        reg.gauge_fn("lazy", lambda: 13, agg="sum")
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        return reg
+
+    def test_registration_order_cannot_change_snapshot(self):
+        a = MetricsRegistry()
+        a.counter("b_total").value = 1
+        a.counter("a_total").value = 2
+        b = MetricsRegistry()
+        b.counter("a_total").value = 2
+        b.counter("b_total").value = 1
+        assert a.snapshot() == b.snapshot()
+
+    def test_snapshot_pickles_and_round_trips(self):
+        snap = self.build().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_reads(self):
+        snap = self.build().snapshot()
+        assert snap.counter_value("c") == 4
+        assert snap.counter_value("c", tier="device") == 4
+        assert snap.counter_value("c", tier="gateway") == 0
+        assert snap.counter_value("missing") == 0
+        assert snap.gauge_value("g") == 9
+        assert snap.gauge_value("lazy") == 13
+        assert snap.gauge_value("missing") == 0
+        edges, buckets = snap.histogram_buckets("h")
+        assert edges == (1.0,)
+        assert buckets == (1, 0)
+
+    def test_empty(self):
+        assert EMPTY_SNAPSHOT.empty
+        assert not self.build().snapshot().empty
+
+
+class TestCanonicalLabels:
+    def test_sorted_and_stringified(self):
+        assert canonical_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))

@@ -1,0 +1,148 @@
+"""Property suite for the merge algebra, plus the worker-count
+invariance guarantee it exists to provide.
+
+The merge contract (see ``repro.obs.snapshot``) restricts the algebra
+to integer counters, agg-tagged gauges, and fixed-edge integer-bucket
+histograms precisely so that ``merge`` is commutative and associative.
+Hypothesis checks the algebra directly; the MC tests check the payoff:
+per-run snapshots are identical at any worker count.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.obs import EMPTY_SNAPSHOT, MetricsRegistry, MetricsSnapshot, merge_all
+from repro.runtime import MonteCarloRunner, ScenarioTask
+
+FAST = dict(horizon=units.years(1.0), report_interval=units.days(7.0))
+
+# ----------------------------------------------------------------------
+# Snapshot strategy: a fixed schema (aggs and edges bound per name, as
+# the registry enforces) with arbitrary integer values and label sets.
+# ----------------------------------------------------------------------
+GAUGE_AGGS = {"g_sum": "sum", "g_max": "max", "g_min": "min"}
+EDGES = (1.0, 5.0)
+
+label_sets = st.sampled_from(
+    ((), (("entity", "a"),), (("entity", "b"), ("tier", "device")))
+)
+
+
+def _build(counters, gauges, histograms):
+    return MetricsSnapshot(
+        counters=tuple(sorted((n, l, v) for (n, l), v in counters.items())),
+        gauges=tuple(
+            sorted((n, l, GAUGE_AGGS[n], v) for (n, l), v in gauges.items())
+        ),
+        histograms=tuple(
+            sorted(
+                (n, l, EDGES, buckets, sum(buckets))
+                for (n, l), buckets in histograms.items()
+            )
+        ),
+    )
+
+
+snapshots = st.builds(
+    _build,
+    st.dictionaries(
+        st.tuples(st.sampled_from(["c1_total", "c2_total"]), label_sets),
+        st.integers(min_value=0, max_value=10**9),
+        max_size=4,
+    ),
+    st.dictionaries(
+        st.tuples(st.sampled_from(sorted(GAUGE_AGGS)), label_sets),
+        st.integers(min_value=-(10**6), max_value=10**6),
+        max_size=4,
+    ),
+    st.dictionaries(
+        st.tuples(st.just("h_seconds"), label_sets),
+        st.tuples(*[st.integers(min_value=0, max_value=1000)] * (len(EDGES) + 1)),
+        max_size=3,
+    ),
+)
+
+
+class TestMergeAlgebra:
+    @given(a=snapshots, b=snapshots)
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(a=snapshots, b=snapshots, c=snapshots)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(a=snapshots)
+    def test_empty_is_identity(self, a):
+        assert a.merge(EMPTY_SNAPSHOT) == a
+        assert EMPTY_SNAPSHOT.merge(a) == a
+
+    @given(a=snapshots, b=snapshots)
+    def test_merge_order_cannot_change_bytes(self, a, b):
+        canonical = lambda s: json.dumps(  # noqa: E731
+            s.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        assert canonical(a.merge(b)) == canonical(b.merge(a))
+
+    @given(a=snapshots, b=snapshots, c=snapshots)
+    def test_merge_all_matches_pairwise(self, a, b, c):
+        assert merge_all([a, b, c]) == a.merge(b).merge(c)
+
+    @given(a=snapshots)
+    def test_round_trip_survives_merge(self, a):
+        merged = a.merge(a)
+        assert MetricsSnapshot.from_dict(merged.to_dict()) == merged
+
+
+class TestHistogramReorderInvariance:
+    @settings(max_examples=50)
+    @given(data=st.data())
+    def test_observation_order_cannot_change_buckets(self, data):
+        values = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                max_size=50,
+            )
+        )
+        shuffled = data.draw(st.permutations(values))
+
+        def observe(seq):
+            reg = MetricsRegistry()
+            h = reg.histogram("h_seconds", edges=(1.0, 10.0, 50.0))
+            for v in seq:
+                h.observe(v)
+            return reg.snapshot()
+
+        assert observe(values) == observe(shuffled)
+
+
+class TestWorkerCountInvariance:
+    """The end-to-end guarantee: snapshots don't depend on worker count."""
+
+    def study(self, workers):
+        runner = MonteCarloRunner(
+            ScenarioTask("owned-only", **FAST),
+            runs=4,
+            workers=workers,
+            base_seed=2021,
+        )
+        return runner.run()
+
+    def test_per_run_snapshots_identical_1_vs_4(self):
+        serial = self.study(workers=1)
+        parallel = self.study(workers=4)
+        assert [r.metrics for r in serial.runs] == [
+            r.metrics for r in parallel.runs
+        ]
+        assert serial.merged_metrics() == parallel.merged_metrics()
+        assert not serial.merged_metrics().empty
+
+    def test_run_metrics_are_populated(self):
+        study = self.study(workers=1)
+        for run in study.runs:
+            assert run.metrics.counter_value("sim_events_executed_total") > 0
+            assert run.events_executed > 0
+            assert run.wall_clock_s > 0.0
