@@ -1,0 +1,161 @@
+"""E23 — city-scale fleet throughput: the cohort engine at 1k/10k/100k.
+
+The perf-regression harness for the spatial-grid + cohort-batching work:
+builds the city scenario at each fleet size with the cohort engine and
+measures build time, run wall clock, and sustained event/report
+throughput over a 28-day horizon.
+
+Every run rewrites the ``latest`` block of ``BENCH_city.json``
+(preserving ``baseline``); CI uploads the file as an artifact.  The
+regression gate compares the 10k-device events/sec against the pinned
+baseline and fails on a >1.3x slowdown — armed only when this host
+matches the baseline's host, because cross-machine wall-clock ratios
+are weather, not signal.  On a fresh machine (no baseline yet) the
+first capture becomes the baseline.
+
+Fleet sizes are env-overridable for CI::
+
+    CITY_BENCH_SIZES=1000,10000 PYTHONPATH=src \
+        python -m pytest benchmarks/bench_city_fleet.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.city.scenario import CityScaleConfig, CityScenario
+from repro.core import units
+
+from conftest import emit
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_city.json"
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+
+#: The size whose events/sec the regression gate judges (10k: large
+#: enough to be index/batch-dominated, small enough for CI minutes).
+GATE_SIZE = 10_000
+
+#: Same-host bar: latest 10k events/sec may be at most 1.3x slower than
+#: the pinned baseline's.
+MAX_REGRESSION = 1.3
+
+HORIZON = units.days(28.0)
+
+
+def fleet_sizes() -> list:
+    raw = os.environ.get("CITY_BENCH_SIZES")
+    if not raw:
+        return list(DEFAULT_SIZES)
+    return [int(token) for token in raw.split(",") if token.strip()]
+
+
+def host_facts() -> dict:
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+    }
+
+
+def measure_size(device_count: int) -> dict:
+    config = CityScaleConfig(
+        seed=2021,
+        device_count=device_count,
+        horizon=HORIZON,
+        engine="cohort",
+    )
+    started = time.perf_counter()
+    city = CityScenario(config)
+    build_s = time.perf_counter() - started
+    started = time.perf_counter()
+    summary = city.run()
+    run_s = time.perf_counter() - started
+    executed = city.sim.executed_events
+    return {
+        "device_count": device_count,
+        "build_s": round(build_s, 3),
+        "run_s": round(run_s, 3),
+        "executed_events": executed,
+        "events_per_s": round(executed / run_s, 1) if run_s else 0.0,
+        "attempts": summary["attempts"],
+        "reports_per_s": round(summary["attempts"] / run_s, 1) if run_s else 0.0,
+        "delivered": summary["delivered"],
+        "devices_alive_at_end": summary["devices_alive_at_end"],
+    }
+
+
+def load_document() -> dict:
+    if BENCH_JSON.exists():
+        return json.loads(BENCH_JSON.read_text())
+    return {"version": 1, "baseline": None, "latest": None}
+
+
+def test_city_fleet_scaling(benchmark):
+    document = load_document()
+    sizes = fleet_sizes()
+    results = benchmark.pedantic(
+        lambda: [measure_size(size) for size in sizes], rounds=1, iterations=1
+    )
+    by_size = {str(r["device_count"]): r for r in results}
+    document["latest"] = {
+        "captured_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "engine": "cohort",
+        "horizon_days": HORIZON / units.DAY,
+        "host": host_facts(),
+        "sizes": by_size,
+    }
+    if document.get("baseline") is None:
+        document["baseline"] = document["latest"]
+    BENCH_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        f"{r['device_count']:>7,} devices: build {r['build_s']:6.2f} s, "
+        f"run {r['run_s']:6.2f} s — {r['events_per_s']:>9,.0f} events/s, "
+        f"{r['reports_per_s']:>9,.0f} reports/s "
+        f"({r['devices_alive_at_end']:,} alive at end)"
+        for r in results
+    ]
+
+    baseline = document["baseline"]
+    gate_key = str(GATE_SIZE)
+    ratio = None
+    same_host = False
+    if baseline is not None and gate_key in baseline["sizes"] and gate_key in by_size:
+        base_eps = baseline["sizes"][gate_key]["events_per_s"]
+        latest_eps = by_size[gate_key]["events_per_s"]
+        ratio = base_eps / latest_eps if latest_eps else float("inf")
+        same_host = baseline["host"]["hostname"] == platform.node()
+        rows.append(
+            f"10k gate       : baseline {base_eps:,.0f} events/s → "
+            f"latest {latest_eps:,.0f} events/s ({ratio:.2f}x slowdown"
+            f"{', same host' if same_host else ', DIFFERENT host — informational'})"
+        )
+    rows.append(f"wrote latest → {BENCH_JSON.name}")
+    emit(rows)
+
+    # Throughput must not collapse with scale.  Raw events/sec falls by
+    # design (one cohort event services a whole batch, so bigger fleets
+    # mean fewer, heavier events); the scale-invariant measure is member
+    # duty cycles per second, which an O(devices × gateways) scan would
+    # crater at the large sizes.
+    if len(results) > 1:
+        rps = [r["reports_per_s"] for r in results if r["reports_per_s"]]
+        assert max(rps) <= min(rps) * 4.0, (
+            f"reports/sec collapses with fleet size: {rps} "
+            f"(worst/best spread exceeds 4x)"
+        )
+
+    # Same-host regression bar on the 10k size.
+    if ratio is not None and same_host:
+        assert ratio <= MAX_REGRESSION, (
+            f"10k events/sec regressed {ratio:.2f}x vs baseline "
+            f"(> allowed {MAX_REGRESSION}x)"
+        )

@@ -1,0 +1,107 @@
+"""Capture the golden small-fleet fixture for city engine equivalence.
+
+Runs the city-scale scenario at a small fleet size with the *per-entity*
+engine — the reference path every earlier golden trace pins — records
+the executed ``(time, priority, sequence, label)`` stream as a SHA-256
+digest (same methodology as ``capture_golden.py``), and stores the
+engine-independent ``fleet_summary``.  The paired test
+(``tests/experiment/test_city_equivalence.py``) replays both engines:
+the per-entity replay must reproduce the pinned trace bit for bit, and
+the cohort replay must land the identical fleet summary — the proof
+that cohort batching is a pure execution-strategy change.
+
+Both captures run under a strict
+:class:`~repro.faults.InvariantAuditor`; a fixture cannot be produced
+from a run that violates a runtime invariant.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/capture_city_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.city.scenario import CityScaleConfig, CityScenario
+from repro.core import units
+from repro.faults import InvariantAuditor
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "experiment" / "golden"
+
+STEM = "city-small_seed7"
+
+
+def small_city_config(engine: str) -> CityScaleConfig:
+    """The pinned small-fleet case: must match the test exactly."""
+    return CityScaleConfig(
+        seed=7,
+        device_count=48,
+        horizon=units.days(28.0),
+        batches=6,
+        engine=engine,
+    )
+
+
+def trace_line(event) -> bytes:
+    """Canonical encoding of one executed event (same as capture_golden)."""
+    return f"{event.time!r}|{event.priority}|{event.sequence}|{event.label}\n".encode()
+
+
+class TraceDigest:
+    """Incremental SHA-256 over the executed-event stream."""
+
+    def __init__(self) -> None:
+        self.sha = hashlib.sha256()
+        self.count = 0
+        self.head = []
+        self.tail = []
+
+    def add(self, event) -> None:
+        line = trace_line(event)
+        self.sha.update(line)
+        self.count += 1
+        text = line.decode().rstrip("\n")
+        if len(self.head) < 5:
+            self.head.append(text)
+        self.tail.append(text)
+        if len(self.tail) > 5:
+            self.tail.pop(0)
+
+
+def run_reference() -> tuple:
+    """Run the per-entity reference engine traced; returns (digest, summary)."""
+    digest = TraceDigest()
+    city = CityScenario(small_city_config("per-entity"))
+    city.sim.trace_executed = digest.add
+    auditor = InvariantAuditor(city.sim, strict=True).install()
+    summary = city.run()
+    auditor.check_now()
+    return digest, summary
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    digest, summary = run_reference()
+    fixture = {
+        "version": 1,
+        "scenario": "city-small",
+        "seed": 7,
+        "trace_sha256": digest.sha.hexdigest(),
+        "trace_events": digest.count,
+        "trace_head": digest.head,
+        "trace_tail": digest.tail,
+        "fleet_summary": summary,
+    }
+    path = GOLDEN_DIR / f"{STEM}.json"
+    path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"{path.name}: {fixture['trace_events']} events, "
+        f"sha256 {fixture['trace_sha256'][:16]}…"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,19 @@ class EnergySource(Protocol):
         """Instantaneous harvestable power at simulation time ``t``."""
         ...
 
+    def power_at_many(
+        self, t: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """Vectorized ``power_at``: ``n`` devices sampled at the same
+        instant.  Bit-equivalent to ``n`` sequential ``power_at`` calls
+        on the same generator — numpy array draws consume the stream in
+        the same order as repeated scalar draws, and every arithmetic
+        step is the same IEEE-754 float64 operation elementwise.  This
+        is the contract that lets a cohort batch its members without
+        perturbing plan+seed determinism.
+        """
+        ...
+
     def mean_power(self) -> float:
         """Long-run average power, ignoring noise."""
         ...
@@ -57,6 +70,18 @@ class CathodicProtectionSource:
         level = self.nominal_power_w * (1.0 - self.degradation_per_year) ** age_years
         noise = 1.0 + self.noise_fraction * rng.standard_normal()
         return max(0.0, level * noise)
+
+    def power_at_many(
+        self, t: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        if t < 0.0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        age_years = units.as_years(t)
+        # The aging power stays a Python-scalar ``**`` so it rounds
+        # identically to the scalar path; only the noise is an array.
+        level = self.nominal_power_w * (1.0 - self.degradation_per_year) ** age_years
+        noise = 1.0 + self.noise_fraction * rng.standard_normal(n)
+        return np.maximum(0.0, level * noise)
 
     def mean_power(self) -> float:
         return self.nominal_power_w
@@ -91,6 +116,29 @@ class SolarSource:
         aging = (1.0 - self.degradation_per_year) ** age_years
         weather = self.cloud_attenuation if rng.random() < self.cloud_fraction else 1.0
         return self.peak_power_w * diurnal * seasonal * aging * weather
+
+    def power_at_many(
+        self, t: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        if t < 0.0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        day_phase = (t % units.DAY) / units.DAY
+        if not 0.25 <= day_phase <= 0.75:
+            # Night: the scalar path returns before touching the rng, so
+            # the vectorized path must not draw either.
+            return np.zeros(n)
+        diurnal = math.sin((day_phase - 0.25) / 0.5 * math.pi)
+        year_phase = (t % units.YEAR) / units.YEAR
+        seasonal = 1.0 + self.seasonal_swing * math.cos(2.0 * math.pi * year_phase)
+        age_years = units.as_years(t)
+        aging = (1.0 - self.degradation_per_year) ** age_years
+        weather = np.where(
+            rng.random(n) < self.cloud_fraction, self.cloud_attenuation, 1.0
+        )
+        # Match the scalar left-to-right product: the deterministic
+        # factors fold into one Python scalar, then multiply the array.
+        base = self.peak_power_w * diurnal * seasonal * aging
+        return base * weather
 
     def mean_power(self) -> float:
         # Half-sine day (mean 2/pi over 12h -> 1/pi over 24h), mean weather.
@@ -134,6 +182,25 @@ class VibrationSource:
         burst = self.burst_gain if rng.random() < self.burst_probability else 1.0
         return self.rms_power_w * base * burst
 
+    def power_at_many(
+        self, t: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        if t < 0.0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        day_phase = (t % units.DAY) / units.DAY
+        hour = day_phase * 24.0
+        rush = math.exp(-((hour - 8.5) ** 2) / 4.0) + math.exp(
+            -((hour - 17.5) ** 2) / 4.0
+        )
+        base = 0.15 + rush
+        weekday = int(t // units.DAY) % 7
+        if weekday >= 5:
+            base *= self.weekend_factor
+        burst = np.where(
+            rng.random(n) < self.burst_probability, self.burst_gain, 1.0
+        )
+        return self.rms_power_w * base * burst
+
     def mean_power(self) -> float:
         # Numerically averaged profile factor (~0.62 weekday-weighted).
         return self.rms_power_w * 0.62
@@ -159,6 +226,19 @@ class ThermalGradientSource:
         seasonal = 1.0 + self.seasonal_swing * math.sin(2.0 * math.pi * year_phase)
         jitter = 1.0 + 0.05 * rng.standard_normal()
         return max(0.0, self.peak_power_w * gradient * seasonal * jitter)
+
+    def power_at_many(
+        self, t: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        if t < 0.0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        day_phase = (t % units.DAY) / units.DAY
+        gradient = abs(math.sin(2.0 * math.pi * day_phase))
+        year_phase = (t % units.YEAR) / units.YEAR
+        seasonal = 1.0 + self.seasonal_swing * math.sin(2.0 * math.pi * year_phase)
+        jitter = 1.0 + 0.05 * rng.standard_normal(n)
+        base = self.peak_power_w * gradient * seasonal
+        return np.maximum(0.0, base * jitter)
 
     def mean_power(self) -> float:
         return self.peak_power_w * 2.0 / math.pi

@@ -30,7 +30,9 @@ from ..net.device import EdgeDevice
 from ..net.gateway import OwnedGateway
 from ..net.geometry import Position, grid_positions, uniform_positions
 from ..net.helium import ChurnModel, DataCreditWallet, HeliumNetwork
+from ..net.topology import GatewayIndex
 from ..radio import ieee802154
+from ..radio.link import coverage_radius_m
 from ..radio.lora import LoRaParameters
 from ..reliability.components import energy_harvesting_device, gateway_platform
 from ..reliability.maintenance import MaintenanceLedger
@@ -250,6 +252,21 @@ class FiftyYearExperiment:
         if config.n_154_devices <= 0 or not cluster:
             return
 
+        # One shared spatial index over the live owned gateways; cell
+        # size tracks the device radio's coverage radius.  Replaces the
+        # old directory callable (a full alive-list rebuild per device
+        # per topology change) with nearest-hearing range queries —
+        # trace-identical, see GatewayIndex.
+        owned_index = GatewayIndex(
+            self.sim,
+            lambda: [g for g in self.owned_gateways if g.alive],
+            cell_size_m=max(
+                coverage_radius_m(
+                    ieee802154.default_spec(), ieee802154.urban_path_loss(), 0.5
+                ),
+                50.0,
+            ),
+        )
         spacing = 60.0
         for index, offset in enumerate(
             grid_positions(config.n_154_devices, spacing_m=spacing)
@@ -270,9 +287,7 @@ class FiftyYearExperiment:
                 key=lambda g: device.position.distance_sq_to(g.position),
             )
             device.add_dependency(nearest)
-            device.gateway_directory = lambda: [
-                g for g in self.owned_gateways if g.alive
-            ]
+            device.gateway_index = owned_index
             device.deploy()
             self.devices_154.append(device)
 
@@ -401,7 +416,7 @@ class FiftyYearExperiment:
                     key=lambda h: device.position.distance_sq_to(h.position),
                 )
                 device.add_dependency(nearest)
-            device.gateway_directory = lambda: self.helium.live_hotspots()
+            device.gateway_index = self.helium.live_index()
             device.deploy()
             self.devices_lora.append(device)
 
@@ -435,7 +450,7 @@ class FiftyYearExperiment:
             position=position,
             harvester=harvester,
         )
-        device.gateway_directory = lambda: self.helium.live_hotspots()
+        device.gateway_index = self.helium.live_index()
         device.deploy()
         self.devices_lora.append(device)
         self.diary.note(

@@ -192,10 +192,17 @@ class InvariantAuditor:
             tier = getattr(entity, "TIER", None)
             if tier == "device":
                 self._check_device(entity)
+            elif tier == "device-cohort":
+                self._check_cohort(entity)
             elif tier == "gateway":
                 forwarded_total += self._check_gateway(entity)
             elif tier == "cloud":
-                delivered_total += len(getattr(entity, "deliveries", ()))
+                # Registry-backed count when available (len(deliveries)
+                # undercounts endpoints running store_deliveries=False).
+                count = getattr(entity, "delivered_count", None)
+                if count is None:
+                    count = len(getattr(entity, "deliveries", ()))
+                delivered_total += count
         self._forwarded_total = forwarded_total
         self._delivered_total = delivered_total
 
@@ -222,6 +229,37 @@ class InvariantAuditor:
                     "energy-bounds",
                     device.name,
                     f"stored_j={stored!r} outside [0, capacity_j={capacity!r}]",
+                )
+
+    def _check_cohort(self, cohort) -> None:
+        attempts = cohort.attempts
+        accounted = (
+            cohort.delivered
+            + cohort.energy_denied
+            + cohort.no_gateway
+            + cohort.radio_lost
+        )
+        if cohort.delivered > attempts or accounted > attempts:
+            self._flag(
+                "link-conservation",
+                cohort.name,
+                f"loss accounting exceeds attempts: {cohort.loss_breakdown()}",
+            )
+        power = getattr(cohort, "power", None)
+        if power is not None:
+            stored = power.stored_j
+            capacity = power.capacity_j
+            if bool(
+                (stored < -_ENERGY_EPS_J).any()
+                or (stored > capacity + _ENERGY_EPS_J).any()
+            ):
+                worst_low = float(stored.min())
+                worst_high = float(stored.max())
+                self._flag(
+                    "energy-bounds",
+                    cohort.name,
+                    f"stored_j range [{worst_low!r}, {worst_high!r}] outside "
+                    f"[0, capacity_j={capacity!r}]",
                 )
 
     def _check_gateway(self, gateway) -> int:

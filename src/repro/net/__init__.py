@@ -9,9 +9,17 @@ from .backhaul import (
     OutageModel,
 )
 from .cloud import MAX_DOMAIN_LEASE, CloudEndpoint, UptimeReport
-from .device import EdgeDevice
+from .cohort import CohortPower, DeviceCohort
+from .device import MAX_LINKS_TRIED, EdgeDevice
 from .gateway import Gateway, OwnedGateway, ThirdPartyGateway, migrate_devices
-from .geometry import ORIGIN, Position, centroid, grid_positions, uniform_positions
+from .geometry import (
+    ORIGIN,
+    Position,
+    SpatialGrid,
+    centroid,
+    grid_positions,
+    uniform_positions,
+)
 from .helium import (
     PACKETS_50_YEARS_HOURLY,
     USD_PER_CREDIT,
@@ -27,7 +35,7 @@ from .commissioning import (
     StepOutcome,
     commission_replacement,
 )
-from .topology import DeliverySummary, Network, associate_by_coverage
+from .topology import DeliverySummary, GatewayIndex, Network, associate_by_coverage
 from .trust import (
     SCHEMES,
     DeviceTrustRecord,
@@ -48,13 +56,17 @@ __all__ = [
     "MAX_DOMAIN_LEASE",
     "CloudEndpoint",
     "UptimeReport",
+    "CohortPower",
+    "DeviceCohort",
     "EdgeDevice",
+    "MAX_LINKS_TRIED",
     "Gateway",
     "OwnedGateway",
     "ThirdPartyGateway",
     "migrate_devices",
     "ORIGIN",
     "Position",
+    "SpatialGrid",
     "centroid",
     "grid_positions",
     "uniform_positions",
@@ -77,6 +89,7 @@ __all__ = [
     "TrustRegistry",
     "trust_horizon",
     "DeliverySummary",
+    "GatewayIndex",
     "Network",
     "associate_by_coverage",
 ]

@@ -40,6 +40,7 @@ class CloudEndpoint(Entity):
         name: str = "centurysensors.com",
         renewal_miss_probability: float = 0.0,
         renewal_recovery: float = units.days(30.0),
+        store_deliveries: bool = True,
     ) -> None:
         super().__init__(sim, name)
         if not 0.0 <= renewal_miss_probability <= 1.0:
@@ -50,8 +51,17 @@ class CloudEndpoint(Entity):
         #: instead of the constant, e.g. an experimenter-succession
         #: model whose handoffs erode institutional memory (§4.5).
         self.miss_probability_fn = None
+        #: City-scale switch: with ``store_deliveries=False`` the
+        #: endpoint keeps only aggregates (per-week arrival counts, the
+        #: gap histogram, the delivered counter) instead of one
+        #: ``DeliveryRecord`` per packet — a 100k-device month would
+        #: otherwise pin millions of record objects.  The weekly-uptime
+        #: metric still evaluates exactly (see :meth:`weekly_uptime`).
+        self.store_deliveries = store_deliveries
         self.deliveries: List[DeliveryRecord] = []
         self.per_device_last: Dict[str, float] = {}
+        self._week_counts: Dict[int, int] = {}
+        self._last_arrival: float = -1.0
         self.domain_up = True
         # Endpoint accounting in the run's metrics registry.  The
         # delivered counter closes the link-conservation chain the
@@ -112,13 +122,20 @@ class CloudEndpoint(Entity):
         if not self.accepting():
             return False
         now = self.sim.now
-        record = DeliveryRecord(
-            packet=packet,
-            received_at=now,
-            via_gateway=via_gateway,
-            via_backhaul=via_backhaul,
-        )
-        self.deliveries.append(record)
+        if self.store_deliveries:
+            self.deliveries.append(
+                DeliveryRecord(
+                    packet=packet,
+                    received_at=now,
+                    via_gateway=via_gateway,
+                    via_backhaul=via_backhaul,
+                )
+            )
+        else:
+            week = int(now // units.WEEK)
+            counts = self._week_counts
+            counts[week] = counts.get(week, 0) + 1
+            self._last_arrival = now
         self._c_delivered.value += 1
         per_device_last = self.per_device_last
         last = per_device_last.get(packet.source)
@@ -128,6 +145,26 @@ class CloudEndpoint(Entity):
         return True
 
     # Compatibility views over the registry-backed counters.
+    @property
+    def delivered_count(self) -> int:
+        """Packets recorded, independent of delivery-record storage.
+
+        The registry-backed counter is the single source of truth;
+        ``len(deliveries)`` only agrees with it while
+        ``store_deliveries`` is on, so aggregate consumers (the
+        invariant auditor, fleet summaries) read this instead.
+        """
+        return self._c_delivered.value
+
+    @property
+    def delivery_gap_buckets(self) -> tuple:
+        """Bucket counts of the per-device inter-arrival histogram.
+
+        A read-only aggregate view (1 h / 6 h / 1 d / 1 w / 4 w edges
+        plus overflow) that exists in both delivery-storage modes.
+        """
+        return tuple(self._gap_buckets)
+
     @property
     def domain_renewals(self) -> int:
         """Domain lease renewals attempted (registry-backed)."""
@@ -160,12 +197,38 @@ class CloudEndpoint(Entity):
         n_weeks = int((end - start) // units.WEEK)
         if n_weeks == 0:
             raise ValueError("window shorter than one week")
-        arrivals = [r.received_at for r in self.deliveries if start <= r.received_at < end]
         hit = [False] * n_weeks
-        for t in arrivals:
-            index = int((t - start) // units.WEEK)
-            if index < n_weeks:
-                hit[index] = True
+        if self.store_deliveries:
+            arrivals = [
+                r.received_at
+                for r in self.deliveries
+                if start <= r.received_at < end
+            ]
+            total_deliveries = len(arrivals)
+            for t in arrivals:
+                index = int((t - start) // units.WEEK)
+                if index < n_weeks:
+                    hit[index] = True
+        else:
+            # Aggregate mode keeps per-week counts bucketed from t=0, so
+            # it can evaluate exactly only the windows those buckets
+            # resolve: starting at 0 and extending past the last arrival.
+            if start != 0.0:
+                raise ValueError(
+                    "store_deliveries=False endpoints bucket arrivals "
+                    "from t=0; weekly_uptime requires start == 0.0"
+                )
+            if self._last_arrival >= end:
+                raise ValueError(
+                    "store_deliveries=False endpoints cannot evaluate a "
+                    f"window ending at {end} before the last arrival at "
+                    f"{self._last_arrival}"
+                )
+            total_deliveries = 0
+            for week, count in self._week_counts.items():
+                total_deliveries += count
+                if week < n_weeks:
+                    hit[week] = True
         up_weeks = sum(hit)
         # Longest dark gap, in weeks.
         longest_gap = 0
@@ -181,7 +244,7 @@ class CloudEndpoint(Entity):
             up_weeks=up_weeks,
             uptime=up_weeks / n_weeks,
             longest_gap_weeks=longest_gap,
-            total_deliveries=len(arrivals),
+            total_deliveries=total_deliveries,
         )
 
     def device_silence(self, horizon_end: float) -> Dict[str, float]:

@@ -12,6 +12,7 @@ armed at deployment.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from ..core.engine import PeriodicTask, Simulation
@@ -24,6 +25,12 @@ from ..reliability.distributions import LifetimeDistribution
 from ..reliability.failure import FailureProcess
 from .gateway import Gateway
 from .geometry import ORIGIN, Position
+
+#: A broadcast is heard (or not) by everything in range at once; trying
+#: the four best live links covers any realistic decode set.  Shared by
+#: the per-entity duty cycle, the spatial-index candidate query, and the
+#: cohort-batched path, so all three try identical link sequences.
+MAX_LINKS_TRIED = 4
 
 
 class EdgeDevice(Entity):
@@ -97,6 +104,12 @@ class EdgeDevice(Entity):
         #: addition to static ``depends_on`` links — the device relies on
         #: *properties* of infrastructure, not specific instances.
         self.gateway_directory = None
+        #: Optional spatial discovery: a
+        #: :class:`~repro.net.topology.GatewayIndex` answering
+        #: nearest-hearing range queries.  Preferred over the directory
+        #: when both are set — same candidate semantics, O(log-ish)
+        #: instead of a full population rebuild per topology change.
+        self.gateway_index = None
 
         # Duty-cycle accounting lives in the run's metrics registry —
         # one labelled instrument per outcome, registered once here and
@@ -166,11 +179,25 @@ class EdgeDevice(Entity):
         self._gateway_directory = directory
         self._candidate_cache = None
 
+    @property
+    def gateway_index(self):
+        """The spatial-discovery index (see ``__init__``), or None."""
+        return self._gateway_index
+
+    @gateway_index.setter
+    def gateway_index(self, index) -> None:
+        self._gateway_index = index
+        self._candidate_cache = None
+
     def candidate_gateways(self) -> List[Gateway]:
         """Gateways this device may try, ordered nearest-first.
 
-        Instance-bound devices only ever try their first dependency —
-        the §3.1 anti-pattern whose cost the policy ablation measures.
+        Instance-bound devices only ever try their *literal first*
+        dependency — the §3.1 anti-pattern whose cost the policy
+        ablation measures.  The binding is to the commissioned instance
+        itself: if that dependency is incompatible or not a gateway at
+        all, the device is stranded rather than silently rebound to a
+        later dependency.
 
         The list is cached per device and rebuilt only when the
         simulation's topology version moves (a gateway deployed, failed,
@@ -178,16 +205,29 @@ class EdgeDevice(Entity):
         the gateway population is provably unchanged, so the cache is
         exact, not approximate.  Entries may since have died — callers
         must check :meth:`Gateway.hears` on the links they actually try.
+
+        With a ``gateway_index`` attached, discovery asks the index for
+        the ``MAX_LINKS_TRIED`` nearest gateways currently able to hear
+        instead of materialising the whole population.  Because
+        ``hears()`` only flips on version-bumping transitions and
+        :meth:`_report` both skips non-hearing candidates and stops
+        after ``MAX_LINKS_TRIED`` hearing links, the tried-link sequence
+        is identical to the full-directory rebuild.
         """
         version = self.sim.topology_version
         cached = self._candidate_cache
         if cached is not None and self._candidate_version == version:
             return cached
         candidates = list(self.depends_on)
-        if (
-            self._gateway_directory is not None
-            and self.attachment is AttachmentPolicy.ANY_COMPATIBLE
-        ):
+        if self.attachment is AttachmentPolicy.INSTANCE_BOUND:
+            candidates = candidates[:1]
+        elif self._gateway_index is not None:
+            candidates.extend(
+                self._gateway_index.nearest_hearing(
+                    self.position, count=MAX_LINKS_TRIED
+                )
+            )
+        elif self._gateway_directory is not None:
             candidates.extend(self._gateway_directory())
         seen = set()
         gateways = []
@@ -199,8 +239,6 @@ class EdgeDevice(Entity):
                 continue
             seen.add(id(g))
             gateways.append(g)
-        if self.attachment is AttachmentPolicy.INSTANCE_BOUND:
-            gateways = gateways[:1]
         position = self.position
         gateways.sort(key=lambda g: position.distance_sq_to(g.position))
         self._candidate_cache = gateways
@@ -231,7 +269,7 @@ class EdgeDevice(Entity):
             if attempt_delivery(self.spec, gateway.path_loss, distance, rng):
                 heard_by = gateway
                 break
-            if tried == 4:
+            if tried == MAX_LINKS_TRIED:
                 break
         if tried == 0:
             self._c_no_gateway.value += 1
@@ -320,9 +358,15 @@ class EdgeDevice(Entity):
 
     @property
     def delivery_rate(self) -> float:
-        """Fraction of scheduled reports that reached the backend."""
+        """Fraction of scheduled reports that reached the backend.
+
+        NaN before the first attempt: a device that was never scheduled
+        is not a device that always failed, and folding 0.0 into a
+        fleet mean would penalise late-deployed cohorts.  Aggregators
+        must skip NaN entries (``math.isnan``).
+        """
         if self.attempts == 0:
-            return 0.0
+            return math.nan
         return self.delivered / self.attempts
 
     def loss_breakdown(self) -> dict:

@@ -202,6 +202,7 @@ class HeliumNetwork:
         self._asn_pool: List[int] = []
         self._live_cache: List[ThirdPartyGateway] = []
         self._live_cache_version: int = -1
+        self._live_index = None
         self._spawn_initial(initial_hotspots)
         self._schedule_arrival()
 
@@ -281,6 +282,30 @@ class HeliumNetwork:
             self._live_cache = [h for h in self.hotspots if h.alive]
             self._live_cache_version = version
         return self._live_cache
+
+    def live_index(self):
+        """A shared spatial index over the live hotspots.
+
+        Devices attach this as their ``gateway_index`` instead of a
+        ``gateway_directory`` callable: it caches against the topology
+        version exactly like :meth:`live_hotspots` and indexes the same
+        population in the same order, so nearest-hearing queries break
+        distance ties identically to a scan of the live list.  The cell
+        size tracks the LoRa coverage radius at the planner's default
+        threshold.
+        """
+        if self._live_index is None:
+            from ..radio.link import coverage_radius_m
+            from .topology import GatewayIndex
+
+            cell = max(
+                coverage_radius_m(self.lora.spec(), suburban_path_loss(), 0.5),
+                50.0,
+            )
+            self._live_index = GatewayIndex(
+                self.sim, self.live_hotspots, cell_size_m=cell
+            )
+        return self._live_index
 
     def pay_and_forward(self, packet: Packet) -> bool:
         """Debit the wallet for ``packet``; the radio hop happens at the

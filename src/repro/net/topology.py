@@ -9,8 +9,9 @@ covers.  ``Network`` bundles the entities of one deployment with its
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.engine import Simulation
 from ..core.hierarchy import Hierarchy
@@ -18,6 +19,7 @@ from .backhaul import Backhaul
 from .cloud import CloudEndpoint
 from .device import EdgeDevice
 from .gateway import Gateway
+from .geometry import Position, SpatialGrid
 
 
 def associate_by_coverage(
@@ -29,31 +31,153 @@ def associate_by_coverage(
     """Wire each device to its best in-range compatible gateways.
 
     Uses the deterministic (no-shadowing) link budget for planning, as a
-    real site survey would.  Returns ``{device_name: attached_count}``;
-    devices with zero coverage stay unattached (and will count their
-    reports as ``no_gateway`` losses).
+    real site survey would.  Returns ``{device_name: attached_count}``
+    where the count is the number of dependencies *actually wired* —
+    gateways the device already depended on are deduplicated by
+    ``add_dependency`` and are not counted again.  Devices with zero
+    coverage stay unattached (and will count their reports as
+    ``no_gateway`` losses).
+
+    Gateways are indexed in a :class:`~repro.net.geometry.SpatialGrid`
+    per (technology, path-loss) group, and each device range-queries at
+    the closed-form coverage radius instead of scanning the full
+    gateway list — O(fleet) instead of O(devices × gateways) for
+    city-scale layouts.  The radius query is a provable superset of the
+    qualifying set (see :func:`~repro.radio.link.coverage_radius_m`) and
+    the exact ``link_budget`` threshold is re-applied per candidate, in
+    input order, so the wiring is identical to the full scan.
     """
     if not 0.0 < min_success < 1.0:
         raise ValueError("min_success must be in (0, 1)")
     if max_gateways_per_device < 1:
         raise ValueError("max_gateways_per_device must be >= 1")
-    from ..radio.link import link_budget
+    from ..radio.link import coverage_radius_m, link_budget
+
+    # Group once; grids are built lazily on first query so the cell size
+    # can track the first requesting spec's coverage radius.
+    groups: Dict[tuple, List[tuple]] = {}
+    for index, gateway in enumerate(gateways):
+        key = (gateway.technology, gateway.path_loss)
+        groups.setdefault(key, []).append((index, gateway))
+    grids: Dict[tuple, SpatialGrid] = {}
+    radii: Dict[tuple, float] = {}
 
     attached: Dict[str, int] = {}
     for device in devices:
-        scored = []
-        for gateway in gateways:
-            if gateway.technology != device.technology:
+        candidates: List[tuple] = []
+        for (technology, path_loss), members in groups.items():
+            if technology != device.technology:
                 continue
+            radius_key = (device.spec, technology, path_loss)
+            radius = radii.get(radius_key)
+            if radius is None:
+                radius = coverage_radius_m(device.spec, path_loss, min_success)
+                radii[radius_key] = radius
+            if radius <= 0.0:
+                continue
+            grid = grids.get((technology, path_loss))
+            if grid is None:
+                grid = SpatialGrid(cell_size_m=max(radius, 1.0))
+                for pair in members:
+                    position = pair[1].position
+                    grid.insert(position.x, position.y, pair)
+                grids[(technology, path_loss)] = grid
+            # Scoring clamps distance to >= 1 m, so anything within
+            # max(radius, 1) may qualify; +1 m absorbs float rounding
+            # in the closed-form radius.
+            candidates.extend(
+                grid.query_radius(
+                    device.position.x,
+                    device.position.y,
+                    max(radius, 1.0) + 1.0,
+                )
+            )
+        # Merge the per-group hits back into global input order so the
+        # stable success sort breaks ties exactly as the full scan did.
+        candidates.sort(key=lambda pair: pair[0])
+        scored = []
+        for __, gateway in candidates:
             distance = max(device.position.distance_to(gateway.position), 1.0)
             budget = link_budget(device.spec, gateway.path_loss, distance)
             if budget.mean_success >= min_success:
                 scored.append((budget.mean_success, gateway))
         scored.sort(key=lambda pair: -pair[0])
+        wired = 0
         for __, gateway in scored[:max_gateways_per_device]:
-            device.add_dependency(gateway)
-        attached[device.name] = min(len(scored), max_gateways_per_device)
+            if gateway not in device.depends_on:
+                device.add_dependency(gateway)
+                wired += 1
+        attached[device.name] = wired
     return attached
+
+
+class GatewayIndex:
+    """A topology-version-cached spatial index over a gateway population.
+
+    ``provider`` returns the population to index (a scenario's owned
+    gateways, a Helium network's hotspot roster); the grid is rebuilt
+    lazily whenever ``sim.topology_version`` moves — exactly the
+    transitions (deploy/fail/retire/rewire) that can change the
+    population or its ability to hear.  Between bumps the index is
+    exact, not approximate, by the same argument as the device
+    candidate cache.
+
+    ``nearest_hearing`` answers the device hot path: the ``count``
+    nearest gateways currently able to receive
+    (:meth:`~repro.net.gateway.Gateway.hears`), ordered by (distance²,
+    provider order).  Because ``hears()`` can only flip on a
+    version-bumping transition, evaluating it at rebuild/query time
+    consumes no randomness and never reorders a trace.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        provider: Callable[[], Sequence[Gateway]],
+        cell_size_m: float,
+    ) -> None:
+        if cell_size_m <= 0.0:
+            raise ValueError(f"cell_size_m must be positive, got {cell_size_m}")
+        self.sim = sim
+        self.provider = provider
+        self.cell_size_m = cell_size_m
+        self._grid: Optional[SpatialGrid] = None
+        self._population: List[Gateway] = []
+        self._version: int = -1
+
+    def grid(self) -> SpatialGrid:
+        """The current index, rebuilt if the topology version moved."""
+        version = self.sim.topology_version
+        if self._grid is None or self._version != version:
+            population = list(self.provider())
+            grid = SpatialGrid(self.cell_size_m)
+            for gateway in population:
+                position = gateway.position
+                grid.insert(position.x, position.y, gateway)
+            self._grid = grid
+            self._population = population
+            self._version = version
+        return self._grid
+
+    def population(self) -> List[Gateway]:
+        """The indexed gateway list, in provider order (read-only).
+
+        Cohorts scan it on topology bumps to detect gateways that
+        *gained* the ability to hear — the one transition their
+        shrink-only candidate reuse cannot survive.
+        """
+        self.grid()
+        return self._population
+
+    def nearest_hearing(self, position: Position, count: int) -> List[Gateway]:
+        """The ``count`` nearest gateways that can currently receive."""
+        return self.grid().nearest(
+            position.x, position.y, count, where=_gateway_hears
+        )
+
+
+def _gateway_hears(gateway: Gateway) -> bool:
+    return gateway.hears()
 
 
 @dataclass
@@ -138,7 +262,13 @@ class DeliverySummary:
 
     @property
     def delivery_rate(self) -> float:
-        """Delivered / attempted."""
+        """Delivered / attempted; NaN when nothing was ever attempted.
+
+        Returning 0.0 would conflate "never scheduled" with "always
+        failed" and drag down fleet-mean aggregates for late-deployed
+        cohorts — callers averaging across summaries must skip NaN
+        entries (``math.isnan``) instead of folding them in as zeros.
+        """
         if self.attempts == 0:
-            return 0.0
+            return math.nan
         return self.delivered / self.attempts

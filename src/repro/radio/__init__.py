@@ -13,6 +13,7 @@ from .link import (
     PathLossModel,
     RadioSpec,
     attempt_delivery,
+    coverage_radius_m,
     link_budget,
     max_range_m,
     packet_success_probability,
@@ -34,6 +35,7 @@ __all__ = [
     "PathLossModel",
     "RadioSpec",
     "attempt_delivery",
+    "coverage_radius_m",
     "link_budget",
     "max_range_m",
     "packet_success_probability",

@@ -156,6 +156,36 @@ def max_range_m(
     return lo
 
 
+def coverage_radius_m(
+    spec: RadioSpec, model: PathLossModel, min_success: float
+) -> float:
+    """Largest distance with mean (no-shadowing) success >= ``min_success``.
+
+    The closed-form inverse of :func:`link_budget`:
+
+        success >= p  <=>  margin >= slope * ln(p / (1 - p))
+                      <=>  mean loss <= tx - sensitivity - slope * ln(p/(1-p))
+
+    and the log-distance loss curve inverts exactly.  Returns 0.0 when
+    even the reference distance fails.  Unlike :func:`max_range_m`
+    (bisection converging from below), this never underestimates, so
+    spatial-index range queries can use it as a superset radius and
+    re-apply the exact ``link_budget`` threshold to each candidate.
+    """
+    if not 0.0 < min_success < 1.0:
+        raise ValueError("min_success must be in (0, 1)")
+    margin_db = spec.per_slope_db * math.log(min_success / (1.0 - min_success))
+    max_loss_db = spec.tx_power_dbm - spec.sensitivity_dbm - margin_db
+    excess_db = (
+        max_loss_db
+        - model.reference_loss_db(spec.frequency_hz)
+        - model.penetration_db
+    )
+    if excess_db < 0.0:
+        return 0.0
+    return model.reference_distance_m * 10.0 ** (excess_db / (10.0 * model.exponent))
+
+
 def attempt_delivery(
     spec: RadioSpec,
     model: PathLossModel,

@@ -1,0 +1,97 @@
+"""Engine equivalence for the city-scale scenario.
+
+``tests/experiment/golden/city-small_seed7.json`` was captured from the
+*per-entity* engine (``benchmarks/capture_city_golden.py``) — one
+:class:`~repro.net.device.EdgeDevice` and one
+:class:`~repro.reliability.failure.FailureProcess` per sensor, the same
+execution shape every other golden trace pins.  This suite demands:
+
+1. the per-entity replay still produces the pinned executed-event trace
+   bit for bit (SHA-256 over ``(time, priority, sequence, label)``), and
+2. the cohort engine — one batched event servicing dozens of members —
+   lands the *identical* fleet summary: every delivery, loss category,
+   gap-histogram bucket, brownout-driven denial, uptime week, and death
+   count equal to the per-entity run.
+
+Together they prove cohort batching is an execution strategy, not a
+model change: the two engines draw the same named RNG streams in the
+same per-stream order, so plan+seed determinism carries across engines.
+Event *counts* legitimately differ (that is the whole point of
+batching), so they are compared against the fixture only for the
+reference engine.
+
+Both replays run under a strict InvariantAuditor.
+
+If a future PR changes city behavior intentionally, re-capture with::
+
+    PYTHONPATH=src python benchmarks/capture_city_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.city.scenario import CityScenario
+from repro.faults import InvariantAuditor
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS))
+
+from capture_city_golden import (  # noqa: E402
+    STEM,
+    TraceDigest,
+    small_city_config,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def load_fixture() -> dict:
+    return json.loads((GOLDEN_DIR / f"{STEM}.json").read_text())
+
+
+def run_engine(engine: str, digest: TraceDigest | None = None) -> dict:
+    city = CityScenario(small_city_config(engine))
+    if digest is not None:
+        city.sim.trace_executed = digest.add
+    auditor = InvariantAuditor(city.sim, every=250, strict=True).install()
+    summary = city.run()
+    auditor.check_now()
+    return summary
+
+
+def test_per_entity_engine_reproduces_pinned_trace() -> None:
+    fixture = load_fixture()
+    assert fixture["version"] == 1
+    digest = TraceDigest()
+    summary = run_engine("per-entity", digest)
+    # Head/tail first: on mismatch these show *where* execution diverged.
+    assert digest.head == fixture["trace_head"]
+    assert digest.tail == fixture["trace_tail"]
+    assert digest.count == fixture["trace_events"]
+    assert digest.sha.hexdigest() == fixture["trace_sha256"]
+    assert summary == fixture["fleet_summary"] | {"engine": "per-entity"}
+
+
+def test_cohort_engine_matches_reference_summary() -> None:
+    fixture = load_fixture()
+    summary = run_engine("cohort")
+    # Same summary, field for field, except the engine tag itself.
+    expected = dict(fixture["fleet_summary"], engine="cohort")
+    assert summary == expected
+
+
+def test_engines_agree_on_fresh_seeds() -> None:
+    """Equivalence is a property, not a fixture accident: both engines
+    must agree on seeds the golden capture never saw."""
+    from dataclasses import replace
+
+    for seed in (11, 23):
+        base = small_city_config("per-entity")
+        reference = CityScenario(replace(base, seed=seed)).run()
+        cohort = CityScenario(
+            replace(base, seed=seed, engine="cohort")
+        ).run()
+        assert dict(reference, engine="") == dict(cohort, engine="")

@@ -1,0 +1,273 @@
+"""Tests for repro.net.cohort: the batched path must be bit-identical.
+
+The cohort machinery's entire claim is that vectorising the duty cycle
+changes *nothing* observable: array draws consume RNG streams exactly
+like repeated scalar draws, vectorised sources produce the same floats
+as their scalar ``power_at``, and :class:`CohortPower` walks the same
+IEEE-754 trajectory as one scalar ``HarvestingSystem`` per member.
+These tests pin each layer of that claim independently, so a future
+numpy or refactor regression is caught at the layer that broke.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.energy.budget import TaskProfile
+from repro.energy.harvester import HarvestingSystem
+from repro.energy.sources import (
+    CathodicProtectionSource,
+    SolarSource,
+    ThermalGradientSource,
+    VibrationSource,
+)
+from repro.energy.storage import Capacitor
+from repro.net.cohort import CohortPower
+
+SOURCES = [
+    CathodicProtectionSource(),
+    SolarSource(),
+    VibrationSource(),
+    ThermalGradientSource(),
+]
+
+
+class TestArrayDrawsMatchScalarDraws:
+    """The numpy contract everything else builds on: ``dist(size=n)``
+    consumes the generator exactly like ``n`` scalar ``dist()`` calls."""
+
+    def test_standard_normal(self):
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        batch = a.standard_normal(64)
+        scalars = [b.standard_normal() for _ in range(64)]
+        assert batch.tolist() == scalars
+
+    def test_random(self):
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        batch = a.random(64)
+        scalars = [b.random() for _ in range(64)]
+        assert batch.tolist() == scalars
+
+    def test_normal_with_loc_scale(self):
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        batch = a.normal(loc=1.0, scale=0.05, size=64)
+        scalars = [b.normal(loc=1.0, scale=0.05) for _ in range(64)]
+        assert batch.tolist() == scalars
+
+
+class TestPowerAtMany:
+    @pytest.mark.parametrize("source", SOURCES, ids=lambda s: type(s).__name__)
+    def test_matches_sequential_scalar_calls(self, source):
+        n = 32
+        times = [
+            0.0,
+            units.HOUR * 9.0,       # mid-morning (solar daylight)
+            units.DAY * 5.9,        # weekday/weekend boundary region
+            units.days(200.0) + units.HOUR * 12.0,
+            units.years(30.0) + units.HOUR * 13.0,
+        ]
+        for t in times:
+            a, b = np.random.default_rng(123), np.random.default_rng(123)
+            batch = source.power_at_many(t, a, n)
+            scalars = [source.power_at(t, b) for _ in range(n)]
+            assert batch.tolist() == scalars
+            # Both paths must leave the generators in the same state.
+            assert a.random() == b.random()
+
+    def test_solar_night_draws_nothing(self):
+        source = SolarSource()
+        rng = np.random.default_rng(5)
+        state_before = rng.bit_generator.state
+        out = source.power_at_many(0.0, rng, 16)  # midnight
+        assert out.tolist() == [0.0] * 16
+        assert rng.bit_generator.state == state_before
+
+    @pytest.mark.parametrize("source", SOURCES, ids=lambda s: type(s).__name__)
+    def test_rejects_negative_time(self, source):
+        with pytest.raises(ValueError):
+            source.power_at_many(-1.0, np.random.default_rng(0), 4)
+
+
+def make_scalar_members(n, source, profile, capacity_j, initial_j):
+    return [
+        HarvestingSystem(
+            source=source,
+            storage=Capacitor(capacity_j=capacity_j, stored_j=initial_j),
+            profile=profile,
+        )
+        for _ in range(n)
+    ]
+
+
+class TestCohortPowerEquivalence:
+    """CohortPower vs one HarvestingSystem per member, exact floats.
+
+    The scalar reference consumes one shared generator in member order,
+    exactly as per-entity devices sharing the "energy" stream do.
+    """
+
+    def _compare(self, cohort, members, active):
+        stored = [members[i].storage.stored_j for i in active]
+        assert cohort.stored_j[active].tolist() == stored
+        flags = [members[i].browned_out for i in active]
+        assert cohort.in_brownout[active].tolist() == flags
+        counts = [members[i].brownouts for i in active]
+        assert cohort.brownout_counts[active].tolist() == counts
+
+    @pytest.mark.parametrize(
+        "source",
+        [SolarSource(), VibrationSource(), CathodicProtectionSource()],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_step_and_transmit_trajectory(self, source):
+        n = 12
+        profile = TaskProfile()
+        capacity = 0.5
+        initial = 0.25
+        airtime = 1.4e-3
+        members = make_scalar_members(n, source, profile, capacity, initial)
+        cohort = CohortPower(
+            source=source,
+            count=n,
+            capacity_j=capacity,
+            initial_stored_j=initial,
+            profile=profile,
+        )
+        active = np.arange(n)
+        rng_scalar = np.random.default_rng(42)
+        rng_batch = np.random.default_rng(42)
+        t = 0.0
+        for _ in range(40):
+            dt = units.HOUR * 6.0
+            t += dt
+            for i in active:
+                members[i].step(dt, rng_scalar)
+            cohort.step_many(dt, rng_batch, active)
+            oks = [members[i].try_transmit(airtime) for i in active]
+            batch_ok = cohort.try_transmit_many(airtime, active)
+            assert batch_ok.tolist() == oks
+            self._compare(cohort, members, active)
+
+    def test_brownout_and_recovery_cycle(self):
+        # A tiny capacitor with a real sleep floor browns out nightly on
+        # solar and recovers each day — both transitions must match.
+        source = SolarSource(cloud_fraction=0.5)
+        profile = TaskProfile(sleep_power_w=2e-5)
+        capacity = 0.05
+        n = 8
+        members = make_scalar_members(n, source, profile, capacity, capacity)
+        cohort = CohortPower(
+            source=source,
+            count=n,
+            capacity_j=capacity,
+            initial_stored_j=capacity,
+            profile=profile,
+        )
+        active = np.arange(n)
+        rng_scalar = np.random.default_rng(9)
+        rng_batch = np.random.default_rng(9)
+        for step in range(48):  # 12 days of 6-hour steps
+            dt = units.HOUR * 6.0
+            for i in active:
+                members[i].step(dt, rng_scalar)
+            cohort.step_many(dt, rng_batch, active)
+            self._compare(cohort, members, active)
+        assert cohort.brownouts > 0  # the cycle actually browned out
+
+    def test_dead_members_frozen(self):
+        source = CathodicProtectionSource()
+        profile = TaskProfile()
+        n = 6
+        members = make_scalar_members(n, source, profile, 0.5, 0.3)
+        cohort = CohortPower(
+            source=source, count=n, capacity_j=0.5, initial_stored_j=0.3,
+            profile=profile,
+        )
+        rng_scalar = np.random.default_rng(3)
+        rng_batch = np.random.default_rng(3)
+        all_active = np.arange(n)
+        for i in all_active:
+            members[i].step(units.HOUR, rng_scalar)
+        cohort.step_many(units.HOUR, rng_batch, all_active)
+        # Members 2 and 4 die; the survivors keep stepping.
+        active = np.array([0, 1, 3, 5])
+        frozen = {2: cohort.stored_j[2], 4: cohort.stored_j[4]}
+        for _ in range(5):
+            for i in active:
+                members[i].step(units.HOUR, rng_scalar)
+            cohort.step_many(units.HOUR, rng_batch, active)
+            self._compare(cohort, members, active)
+        assert cohort.stored_j[2] == frozen[2]
+        assert cohort.stored_j[4] == frozen[4]
+
+    def test_zero_dt_and_empty_active_are_noops(self):
+        cohort = CohortPower(
+            source=CathodicProtectionSource(), count=3, capacity_j=0.5,
+            initial_stored_j=0.2,
+        )
+        rng = np.random.default_rng(1)
+        state = rng.bit_generator.state
+        cohort.step_many(0.0, rng, np.arange(3))
+        cohort.step_many(units.HOUR, rng, np.array([], dtype=int))
+        assert rng.bit_generator.state == state
+        assert cohort.stored_j.tolist() == [0.2] * 3
+
+    def test_validation(self):
+        source = CathodicProtectionSource()
+        with pytest.raises(ValueError):
+            CohortPower(source=source, count=0)
+        with pytest.raises(ValueError):
+            CohortPower(source=source, count=1, capacity_j=0.0)
+        with pytest.raises(ValueError):
+            CohortPower(source=source, count=1, initial_stored_j=1.0, capacity_j=0.5)
+        with pytest.raises(ValueError):
+            CohortPower(source=source, count=1, brownout_threshold=1.0)
+        with pytest.raises(ValueError):
+            CohortPower(source=source, count=1).step_many(
+                -1.0, np.random.default_rng(0), np.arange(1)
+            )
+
+
+class TestDeviceCohortConstruction:
+    def test_rejects_mismatched_power(self, sim):
+        from repro.net.cohort import DeviceCohort
+        from repro.net.geometry import Position
+        from repro.radio import ieee802154
+
+        power = CohortPower(source=CathodicProtectionSource(), count=3)
+        with pytest.raises(ValueError):
+            DeviceCohort(
+                sim,
+                technology="802.15.4",
+                spec=ieee802154.default_spec(),
+                airtime_s=ieee802154.airtime_s(24),
+                report_interval=units.HOUR,
+                positions=[Position(0, 0), Position(1, 0)],
+                power=power,
+            )
+
+    def test_lifetimes_drawn_like_failure_processes(self, sim):
+        """Cohort death times consume "device-hw" exactly as per-device
+        FailureProcess arming does — one scalar sample per member."""
+        from repro.core import Simulation
+        from repro.net.cohort import DeviceCohort
+        from repro.net.geometry import Position
+        from repro.radio import ieee802154
+        from repro.reliability.components import energy_harvesting_device
+
+        model = energy_harvesting_device()
+        n = 5
+        cohort = DeviceCohort(
+            sim,
+            technology="802.15.4",
+            spec=ieee802154.default_spec(),
+            airtime_s=ieee802154.airtime_s(24),
+            report_interval=units.HOUR,
+            positions=[Position(float(i), 0.0) for i in range(n)],
+            lifetime_model=model,
+        )
+        cohort.deploy()
+        reference = Simulation(seed=42)  # same seed as the sim fixture
+        rng = reference.rng("device-hw")
+        expected = [float(model.sample(rng, 1)[0]) for _ in range(n)]
+        assert cohort.death_at.tolist() == expected
