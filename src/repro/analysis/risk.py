@@ -112,11 +112,18 @@ def correlated_failure(
     saved = [(e, e.state) for e in members]
     for entity, __ in saved:
         entity.state = EntityState.FAILED
+    # Bump topology_version around the counterfactual window (SL011): a
+    # version-keyed cache built against the hypothetically-failed domain
+    # must be invalidated again when the real states come back.
+    if members:
+        members[0].sim.topology_version += 1
     try:
         after = len(hierarchy.reachable_devices())
     finally:
         for entity, state in saved:
             entity.state = state
+        if members:
+            members[0].sim.topology_version += 1
     return CorrelatedFailureResult(
         domain=f"{domain_tag}={domain_value}",
         members=len(members),

@@ -252,7 +252,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.simlint import run
 
-    return run(args.paths, fmt=args.format, list_rules=args.list_rules)
+    return run(
+        args.paths,
+        fmt=args.format,
+        list_rules=args.list_rules,
+        project=args.project,
+        cache=args.cache,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

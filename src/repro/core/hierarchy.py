@@ -102,11 +102,16 @@ class Hierarchy:
         saved_state = entity.state
         from .entity import EntityState
 
+        # Bump topology_version around the counterfactual flip (SL011):
+        # any cache keyed on the version that is built while the entity
+        # is hypothetically FAILED must not survive the restore.
         entity.state = EntityState.FAILED
+        entity.sim.topology_version += 1
         try:
             after = {e.name for e in self.reachable_devices()}
         finally:
             entity.state = saved_state
+            entity.sim.topology_version += 1
         lost = before - after
         return [e for e in self.tier("device") if e.name in lost]
 

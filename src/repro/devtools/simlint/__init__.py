@@ -16,6 +16,25 @@ SL003     implicit-Optional annotations (``x: T = None``)
 SL004     mutable default arguments
 SL005     float ``==``/``!=`` against simulation time
 SL006     sim layer importing runtime / cli / analysis.report
+SL007     non-tuple ``heappush`` entries
+SL008     fault randomness outside RandomStreams
+SL009     wall-clock reads inside sim layers
+========  =============================================================
+
+A second, *whole-program* pass (``python -m repro lint --project``)
+builds a :class:`~.project.ProjectIndex` over every module at once —
+symbol tables, a resolved import graph, and extracted contract facts —
+and runs the cross-module rules:
+
+========  =============================================================
+SL010     one RNG stream name claimed by distinct subsystems
+SL011     topology mutation without a ``topology_version`` bump
+SL012     metric name registered with conflicting kind / labels / agg /
+          edges across modules
+SL013     import-time module cycles + the package DAG declared in
+          ``[tool.simlint.layers]`` (pyproject.toml)
+SL014     unit-suffixed argument (``_s``/``_m``/``_j``/``_w``) feeding
+          a parameter with a different unit suffix
 ========  =============================================================
 
 Suppress a finding in place with ``# simlint: ignore[SL001]`` (or a bare
@@ -25,32 +44,61 @@ with ``# simlint: skip-file``.
 
 from .analyzer import (
     PARSE_ERROR_RULE,
+    LintCache,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
     parse_suppressions,
+    ruleset_signature,
 )
 from .cli import add_lint_arguments, main, run
 from .findings import Finding, ModuleContext, module_name_for
-from .reporters import JSON_SCHEMA_VERSION, render, render_json, render_text
+from .project import ProjectConfig, ProjectIndex, load_project_config
+from .project_rules import (
+    PROJECT_RULES,
+    ProjectRule,
+    get_project_rule,
+    lint_index,
+    lint_project,
+    project_catalog,
+)
+from .reporters import (
+    JSON_SCHEMA_VERSION,
+    render,
+    render_github,
+    render_json,
+    render_text,
+)
 from .rules import RULES, Rule, catalog, get_rule
 
 __all__ = [
     "PARSE_ERROR_RULE",
+    "LintCache",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "parse_suppressions",
+    "ruleset_signature",
     "add_lint_arguments",
     "main",
     "run",
     "Finding",
     "ModuleContext",
     "module_name_for",
+    "ProjectConfig",
+    "ProjectIndex",
+    "load_project_config",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "get_project_rule",
+    "lint_index",
+    "lint_project",
+    "project_catalog",
     "JSON_SCHEMA_VERSION",
     "render",
+    "render_github",
     "render_json",
     "render_text",
     "RULES",

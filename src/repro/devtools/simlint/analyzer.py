@@ -1,9 +1,12 @@
-"""File discovery, suppression parsing, and rule execution for simlint."""
+"""File discovery, suppression parsing, rule execution, and the
+content-hash result cache for simlint."""
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import re
 import tokenize
 from pathlib import Path
@@ -40,22 +43,25 @@ def parse_suppressions(
                 continue
             if _SKIP_FILE_RE.search(token.string):
                 skip_file = True
-            match = _IGNORE_RE.search(token.string)
-            if match is None:
-                continue
-            rules = match.group("rules")
-            ids = (
-                frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
-                if rules
-                else frozenset()
-            )
-            line = token.start[0]
-            existing = suppressions.get(line)
-            if existing is not None and (not existing or not ids):
-                ids = frozenset()  # blanket ignore wins
-            elif existing is not None:
-                ids = existing | ids
-            suppressions[line] = ids
+            # finditer, not search: one comment may carry several pragmas
+            # (`# simlint: ignore[SL005] simlint: ignore[SL007]`), and
+            # they merge — with a blanket `ignore` absorbing scoped ones.
+            for match in _IGNORE_RE.finditer(token.string):
+                rules = match.group("rules")
+                ids = (
+                    frozenset(
+                        r.strip().upper() for r in rules.split(",") if r.strip()
+                    )
+                    if rules
+                    else frozenset()
+                )
+                line = token.start[0]
+                existing = suppressions.get(line)
+                if existing is not None and (not existing or not ids):
+                    ids = frozenset()  # blanket ignore wins
+                elif existing is not None:
+                    ids = existing | ids
+                suppressions[line] = ids
     except tokenize.TokenError:
         pass  # half-written file: the ast parse below reports it
     return suppressions, skip_file
@@ -100,22 +106,116 @@ def lint_source(
     return sorted(findings)
 
 
-def lint_file(path, module: Optional[str] = None) -> List[Finding]:
-    """Lint one file on disk."""
+class LintCache:
+    """Content-addressed per-file result cache.
+
+    Keyed on SHA-256 of (rule-set signature, file path, source bytes), so
+    a cache entry is valid exactly as long as neither the file content
+    nor any simlint rule code changed — editing a rule module changes the
+    package signature and invalidates everything, with no version number
+    to forget to bump.  Entries are tiny JSON files under ``root``
+    (default ``.simlint_cache/``), sharded by the first two hex digits.
+
+    Only the per-file rules (SL001–SL009) are cacheable; the project
+    rules read cross-module state and always run fresh.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, path: str, source: bytes) -> str:
+        digest = hashlib.sha256()
+        digest.update(ruleset_signature().encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source)
+        return digest.hexdigest()
+
+    def _entry(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        entry = self._entry(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            findings = [Finding(**item) for item in payload]
+        except (OSError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: List[Finding]) -> None:
+        entry = self._entry(key)
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps([f.to_dict() for f in findings])
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(payload, encoding="utf-8")
+            tmp.replace(entry)  # atomic: parallel linters never read torn JSON
+        except OSError:
+            pass  # a read-only tree just means no warm runs
+
+
+#: Cached package signature (computed once per process).
+_RULESET_SIGNATURE: Optional[str] = None
+
+
+def ruleset_signature() -> str:
+    """SHA-256 over the simlint package's own source files.
+
+    Any edit to the analyzer, a rule, or the project pass changes this,
+    which invalidates every :class:`LintCache` entry automatically.
+    """
+    global _RULESET_SIGNATURE
+    if _RULESET_SIGNATURE is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).parent
+        for source_file in sorted(package_dir.glob("*.py")):
+            digest.update(source_file.name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(source_file.read_bytes())
+            digest.update(b"\x00")
+        _RULESET_SIGNATURE = digest.hexdigest()
+    return _RULESET_SIGNATURE
+
+
+def lint_file(
+    path, module: Optional[str] = None, cache: Optional[LintCache] = None
+) -> List[Finding]:
+    """Lint one file on disk (optionally through a :class:`LintCache`)."""
     file_path = Path(path)
-    source = file_path.read_text(encoding="utf-8")
+    raw = file_path.read_bytes()
+    if cache is not None:
+        key = cache.key(str(file_path), raw)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    source = raw.decode("utf-8")
     if module is None:
         module = module_name_for(list(file_path.parts))
-    return lint_source(
+    findings = lint_source(
         source,
         path=str(file_path),
         module=module,
         is_package=file_path.name == "__init__.py",
     )
+    if cache is not None:
+        cache.put(key, findings)
+    return findings
 
 
 def iter_python_files(paths: Iterable) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated file list."""
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    De-duplication is by *resolved* path, so the same file reached via
+    two spellings (``src/repro`` and ``./src/repro``, a symlinked
+    checkout, a redundant CLI argument) lints once; the first spelling
+    given is the one findings are reported under.
+    """
     seen = set()
     ordered: List[Path] = []
     for raw in paths:
@@ -127,15 +227,21 @@ def iter_python_files(paths: Iterable) -> List[Path]:
         else:
             raise FileNotFoundError(f"no such file or directory: {path}")
         for candidate in candidates:
-            if candidate not in seen:
-                seen.add(candidate)
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
                 ordered.append(candidate)
     return ordered
 
 
-def lint_paths(paths: Iterable) -> List[Finding]:
-    """Lint every python file under ``paths`` (files or directories)."""
+def lint_paths(paths: Iterable, cache_dir=None) -> List[Finding]:
+    """Lint every python file under ``paths`` (files or directories).
+
+    ``cache_dir`` (a path, or None to disable) routes per-file results
+    through a :class:`LintCache` so re-lints only pay for changed files.
+    """
+    cache = LintCache(cache_dir) if cache_dir is not None else None
     findings: List[Finding] = []
     for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path))
+        findings.extend(lint_file(file_path, cache=cache))
     return sorted(findings)

@@ -2,9 +2,10 @@
 
 Reachable three ways, all sharing :func:`run`:
 
-* ``python -m repro lint [--format json] [paths...]``
+* ``python -m repro lint [--project] [--format json|github] [paths...]``
 * ``python -m repro.devtools.simlint ...`` (standalone)
-* the ``lint-sim`` CI step, which parses the JSON output.
+* the CI ``lint-sim`` (``--format github``) and ``lint-project``
+  (``--project --format json``) steps.
 """
 
 from __future__ import annotations
@@ -36,9 +37,24 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; github = workflow annotations)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program pass (SL010-SL014: cross-module "
+        "stream/metric/topology/layering/unit contracts)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        nargs="?",
+        const=".simlint_cache",
+        default=None,
+        help="cache per-file results under DIR (default .simlint_cache/), "
+        "keyed on content hash + rule-set signature",
     )
     parser.add_argument(
         "--list-rules",
@@ -51,16 +67,24 @@ def run(
     paths: List[str],
     fmt: str = "text",
     list_rules: bool = False,
+    project: bool = False,
+    cache: Optional[str] = None,
 ) -> int:
     """Lint ``paths`` and print a report; exit code 1 iff findings."""
     if list_rules:
-        for rule_id, title, rationale in catalog():
+        from .project_rules import project_catalog
+
+        for rule_id, title, rationale in list(catalog()) + list(project_catalog()):
             print(f"{rule_id}  {title}")
             print(f"       {rationale}")
         return 0
     targets = paths or [str(default_target())]
     try:
-        findings = lint_paths(targets)
+        findings = lint_paths(targets, cache_dir=cache)
+        if project:
+            from .project_rules import lint_project
+
+            findings = sorted(findings + lint_project(targets))
     except FileNotFoundError as error:
         print(f"simlint: {error}", file=sys.stderr)
         return 2
@@ -76,4 +100,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_lint_arguments(parser)
     args = parser.parse_args(argv)
-    return run(args.paths, fmt=args.format, list_rules=args.list_rules)
+    return run(
+        args.paths,
+        fmt=args.format,
+        list_rules=args.list_rules,
+        project=args.project,
+        cache=args.cache,
+    )

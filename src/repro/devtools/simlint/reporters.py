@@ -34,6 +34,26 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow commands — findings annotate PRs inline.
+
+    One ``::error file=...,line=...,col=...::RULE message`` line per
+    finding (the CI ``lint-sim`` step emits this directly), plus the
+    same human summary line the text reporter ends with.
+    """
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col}::{f.rule} {f.message}"
+        for f in findings
+    ]
+    if findings:
+        by_rule = rule_counts(findings)
+        breakdown = ", ".join(f"{rule} x{count}" for rule, count in by_rule.items())
+        lines.append(f"simlint: {len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("simlint: clean")
+    return "\n".join(lines)
+
+
 def rule_counts(findings: Sequence[Finding]) -> Dict[str, int]:
     """Findings per rule id, sorted by id."""
     counts: Dict[str, int] = {}
@@ -43,9 +63,11 @@ def rule_counts(findings: Sequence[Finding]) -> Dict[str, int]:
 
 
 def render(findings: List[Finding], fmt: str) -> str:
-    """Dispatch on ``fmt`` ("text" or "json")."""
+    """Dispatch on ``fmt`` ("text", "json", or "github")."""
     if fmt == "json":
         return render_json(findings)
     if fmt == "text":
         return render_text(findings)
+    if fmt == "github":
+        return render_github(findings)
     raise ValueError(f"unknown format {fmt!r}")

@@ -1,0 +1,5 @@
+"""SL010 fixture: uses the reserved 'faults:' prefix outside faults/."""
+
+
+def build(streams):
+    return streams.get("faults:pulse")

@@ -1,0 +1,5 @@
+"""SL010 fixture: claims the same stream name as net/."""
+
+
+def build(streams):
+    return streams.get("telemetry")

@@ -1,0 +1,5 @@
+"""SL010 fixture: claims a stream name that energy/ also claims."""
+
+
+def build(streams):
+    return streams.get("telemetry")

@@ -1,0 +1,5 @@
+"""SL010 good twin: sim.rng with a city-prefixed name."""
+
+
+def demand_stream(sim):
+    return sim.rng("city-demand")

@@ -1,0 +1,5 @@
+"""SL010 good twin: distinct, package-prefixed stream name."""
+
+
+def build(streams):
+    return streams.get("energy-telemetry")

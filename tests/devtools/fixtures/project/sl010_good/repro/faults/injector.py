@@ -1,0 +1,5 @@
+"""SL010 good twin: the 'faults:' prefix is fine inside repro.faults."""
+
+
+def stream_for(streams, key):
+    return streams.get(f"faults:{key}")

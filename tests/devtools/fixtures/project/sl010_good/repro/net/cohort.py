@@ -1,0 +1,7 @@
+"""SL010 good twin: same name as net/device.py, same package — the
+cohort engine must replay the per-device streams bit-exactly, so the
+share is the contract, not an accident."""
+
+
+def replay(streams):
+    return streams.get("net-telemetry")

@@ -1,0 +1,5 @@
+"""SL010 good twin: package-prefixed name, shared only inside net/."""
+
+
+def build(streams):
+    return streams.get("net-telemetry")

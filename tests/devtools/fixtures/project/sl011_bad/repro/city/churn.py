@@ -1,0 +1,8 @@
+"""SL011 fixture: flips liveness state without bumping the version."""
+
+from repro.core.entity import EntityState
+
+
+def kill(entity):
+    entity.state = EntityState.FAILED
+    return entity

@@ -1,0 +1,7 @@
+"""SL011 fixture: rewires the entity graph, never bumps the version."""
+
+
+def rewire(device, gateway):
+    device.depends_on.append(gateway)
+    gateway.dependents.append(device)
+    return device

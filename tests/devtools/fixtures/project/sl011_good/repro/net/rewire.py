@@ -1,0 +1,18 @@
+"""SL011 good twin: same mutations, version bumped in the same
+function; constructor self-initialization is exempt (no pre-existing
+graph state can go stale there)."""
+
+
+def rewire(device, gateway):
+    device.depends_on.append(gateway)
+    gateway.dependents.append(device)
+    device.sim.topology_version += 1
+    return device
+
+
+class Link:
+    def __init__(self, sim):
+        self.sim = sim
+        self.depends_on = []
+        self.dependents = []
+        self.state = None

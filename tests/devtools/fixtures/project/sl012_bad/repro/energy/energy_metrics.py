@@ -1,0 +1,8 @@
+"""SL012 fixture: the other half — kind, edges, labels, agg all clash."""
+
+
+def instrument(registry):
+    registry.gauge("frames_total")
+    registry.histogram("frame_delay_s", edges=(0.5, 5.0))
+    registry.counter("drops_total", reason="thermal")
+    registry.gauge("queue_depth", agg="sum")

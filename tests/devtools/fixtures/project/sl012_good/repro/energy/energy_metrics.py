@@ -1,0 +1,8 @@
+"""SL012 good twin: registrations identical to net/'s."""
+
+
+def instrument(registry):
+    registry.counter("frames_total")
+    registry.histogram("frame_delay_s", edges=(0.1, 1.0))
+    registry.counter("drops_total", tier="gateway")
+    registry.gauge("queue_depth", agg="max")

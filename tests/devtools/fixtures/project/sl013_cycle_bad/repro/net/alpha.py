@@ -1,0 +1,7 @@
+"""SL013 fixture: half of an import-time module cycle."""
+
+from repro.net import beta
+
+
+def ping():
+    return beta.pong()

@@ -1,0 +1,7 @@
+"""SL013 fixture: the other half of the cycle."""
+
+from repro.net import alpha
+
+
+def pong():
+    return alpha.ping()

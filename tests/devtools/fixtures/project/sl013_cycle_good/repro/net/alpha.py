@@ -1,0 +1,14 @@
+"""SL013 good twin: the back-edge is deferred into the function that
+needs it (and kept visible to type checkers under TYPE_CHECKING) —
+the sanctioned cycle-breaking idiom."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.net import beta  # noqa: F401
+
+
+def ping():
+    from repro.net import beta
+
+    return beta.pong()

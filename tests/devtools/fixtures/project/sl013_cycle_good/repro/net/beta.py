@@ -1,0 +1,7 @@
+"""SL013 good twin: one top-level direction is fine on its own."""
+
+from repro.net import alpha
+
+
+def pong():
+    return alpha.ping()

@@ -1,0 +1,5 @@
+"""SL013 fixture: import target outside the declared edge set."""
+
+
+def main():
+    return 0

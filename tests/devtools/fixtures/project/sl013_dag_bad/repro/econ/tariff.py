@@ -1,0 +1,7 @@
+"""SL013 fixture: 'econ' imports but has no [tool.simlint.layers] entry."""
+
+from repro.core import thing
+
+
+def price():
+    return thing.VALUE

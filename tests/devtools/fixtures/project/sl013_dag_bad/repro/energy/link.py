@@ -1,0 +1,7 @@
+"""SL013 fixture: energy -> cli is not a declared DAG edge."""
+
+from repro.cli import main
+
+
+def run():
+    return main()

@@ -1,0 +1,5 @@
+"""SL013 good twin: import target, declared this time."""
+
+
+def main():
+    return 0

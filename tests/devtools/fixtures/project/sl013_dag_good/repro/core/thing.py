@@ -1,0 +1,3 @@
+"""SL013 good twin: a core-layer module for others to import."""
+
+VALUE = 42

@@ -1,0 +1,7 @@
+"""SL013 good twin: econ's single edge to core is declared."""
+
+from repro.core import thing
+
+
+def price():
+    return thing.VALUE

@@ -1,0 +1,7 @@
+"""SL013 good twin: the energy -> cli edge is declared in the table."""
+
+from repro.cli import main
+
+
+def run():
+    return main()

@@ -1,0 +1,9 @@
+"""SL014 fixture: public sim-layer signatures with unit suffixes."""
+
+
+def wait(delay_s):
+    return delay_s
+
+
+def advance(time_s, distance_m):
+    return time_s + distance_m

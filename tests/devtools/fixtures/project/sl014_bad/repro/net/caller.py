@@ -1,0 +1,9 @@
+"""SL014 fixture: meters flowing into seconds parameters."""
+
+from repro.core.sched import advance, wait
+
+
+def run(timeout_m, interval_m, hop_m):
+    wait(timeout_m)
+    wait(delay_s=interval_m)
+    return advance(hop_m, hop_m)

@@ -1,0 +1,13 @@
+"""SL014 good twin: same public signatures as the bad fixture."""
+
+
+def wait(delay_s):
+    return delay_s
+
+
+def advance(time_s, distance_m):
+    return time_s + distance_m
+
+
+def probe(span_s):
+    return span_s

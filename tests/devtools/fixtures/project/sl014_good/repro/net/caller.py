@@ -1,0 +1,13 @@
+"""SL014 good twin: suffixes line up; ambiguous names stay silent."""
+
+from repro.core.sched import advance, wait
+
+
+def run(helpers, timeout_s, hop_m, gap_s):
+    wait(timeout_s)
+    wait(delay_s=timeout_s)
+    advance(timeout_s, hop_m)
+    # Two sim-layer functions are named `probe` (core: span_s,
+    # radio: span_m); an unresolved attribute call matches both, one
+    # agrees, so the consensus rule must not fire.
+    return helpers.probe(gap_s)

@@ -1,0 +1,6 @@
+"""SL014 good twin: a colliding name with a *different* unit — the
+consensus check must stay silent when any plausible callee agrees."""
+
+
+def probe(span_m):
+    return span_m

@@ -74,3 +74,57 @@ class TestStandaloneEntryPoint:
         # No paths: lint the installed package itself.
         assert simlint_main([]) == 0
         assert "simlint: clean" in capsys.readouterr().out
+
+
+class TestGithubFormat:
+    def test_error_annotations_emitted(self, capsys):
+        code = main(
+            [
+                "lint",
+                "--format",
+                "github",
+                str(FIXTURES / "sl001_nondeterminism.py"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("::error ")]
+        assert len(lines) == 6
+        first = lines[0]
+        assert "file=" in first and "line=9" in first and "::SL001 " in first
+
+    def test_clean_tree_has_no_annotations(self, capsys):
+        assert main(["lint", "--format", "github", SRC_REPRO]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+        assert "simlint: clean" in out
+
+
+class TestProjectMode:
+    def test_project_pass_clean_on_repro(self, capsys):
+        assert main(["lint", "--project", SRC_REPRO]) == 0
+        assert "simlint: clean" in capsys.readouterr().out
+
+    def test_project_findings_reported(self, capsys):
+        bad = FIXTURES / "project" / "sl010_bad"
+        code = main(["lint", "--project", "--format", "json", str(bad)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts_by_rule"] == {"SL010": 3}
+
+    def test_list_rules_includes_project_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SL010", "SL011", "SL012", "SL013", "SL014"):
+            assert rule_id in out
+
+
+class TestCacheFlag:
+    def test_cache_flag_populates_and_reuses(self, capsys, tmp_path):
+        cache_dir = tmp_path / "lintcache"
+        target = str(FIXTURES / "clean.py")
+        assert main(["lint", "--cache", str(cache_dir), target]) == 0
+        capsys.readouterr()
+        entries = list(cache_dir.rglob("*.json"))
+        assert len(entries) == 1
+        assert main(["lint", "--cache", str(cache_dir), target]) == 0

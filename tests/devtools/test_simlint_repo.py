@@ -8,13 +8,21 @@ wall-clock read, or a layering violation fails here, not in review.
 from pathlib import Path
 
 import repro
-from repro.devtools.simlint import lint_paths, render_text
+from repro.devtools.simlint import lint_paths, lint_project, render_text
 
 PACKAGE_ROOT = Path(repro.__file__).parent
 
 
 def test_repro_package_lints_clean():
     findings = lint_paths([PACKAGE_ROOT])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_repro_package_passes_project_rules():
+    # The whole-program gate: cross-module stream claims, topology
+    # mutations, metric shapes, the declared import DAG, and unit
+    # suffixes must all hold over the real tree.
+    findings = lint_project([PACKAGE_ROOT])
     assert findings == [], "\n" + render_text(findings)
 
 

@@ -10,9 +10,13 @@ from repro.devtools.simlint import (
     PARSE_ERROR_RULE,
     RULES,
     Finding,
+    LintCache,
     get_rule,
+    iter_python_files,
     lint_file,
+    lint_paths,
     lint_source,
+    parse_suppressions,
 )
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -311,3 +315,99 @@ class TestFindingModel:
         a = Finding("a.py", 2, 1, "SL005", "m")
         b = Finding("a.py", 10, 1, "SL001", "m")
         assert sorted([b, a]) == [a, b]
+
+
+class TestParseSuppressions:
+    def test_multiple_pragmas_in_one_comment_merge(self):
+        source = "x = 1  # simlint: ignore[SL005] simlint: ignore[SL007]\n"
+        suppressions, skip = parse_suppressions(source)
+        assert not skip
+        assert suppressions == {1: frozenset({"SL005", "SL007"})}
+
+    def test_blanket_ignore_wins_over_scoped(self):
+        # Either order: once any pragma on the line is a bare `ignore`,
+        # the whole line is exempt (empty frozenset).
+        for source in (
+            "x = 1  # simlint: ignore simlint: ignore[SL005]\n",
+            "x = 1  # simlint: ignore[SL005] simlint: ignore\n",
+        ):
+            suppressions, __ = parse_suppressions(source)
+            assert suppressions == {1: frozenset()}, source
+
+    def test_duplicate_rule_ids_collapse(self):
+        source = "x = 1  # simlint: ignore[SL001, SL001, sl001]\n"
+        suppressions, __ = parse_suppressions(source)
+        assert suppressions == {1: frozenset({"SL001"})}
+
+    def test_lowercase_ids_normalized(self):
+        source = "import random  # simlint: ignore[sl001]\n"
+        assert lint_source(source) == []
+
+    def test_tokenize_error_tolerated(self):
+        suppressions, skip = parse_suppressions("x = (\n")
+        assert suppressions == {} and not skip
+
+
+class TestFileDiscovery:
+    def test_same_tree_via_two_spellings_lints_once(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "mod.py").write_text("import random\n")
+        once = iter_python_files([package])
+        twice = iter_python_files([package, tmp_path / "." / "pkg"])
+        assert len(once) == len(twice) == 1
+        # Findings don't double up either.
+        assert len(lint_paths([package, tmp_path / "." / "pkg"])) == 1
+
+    def test_first_spelling_wins_for_reporting(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        relative = tmp_path / "." / "mod.py"
+        files = iter_python_files([relative, tmp_path / "mod.py"])
+        assert files == [relative]
+
+
+class TestLintCache:
+    def test_roundtrip_preserves_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nx = random.random()\n")
+        cache = LintCache(tmp_path / "cache")
+        cold = lint_file(target, cache=cache)
+        warm = lint_file(target, cache=cache)
+        assert cold == warm
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_content_change_invalidates(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        cache = LintCache(tmp_path / "cache")
+        assert lint_file(target, cache=cache) == []
+        target.write_text("import random\n")
+        assert [f.rule for f in lint_file(target, cache=cache)] == ["SL001"]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        cache = LintCache(tmp_path / "cache")
+        key = cache.key(str(target), target.read_bytes())
+        lint_file(target, cache=cache)
+        cache._entry(key).write_text("not json")
+        assert lint_file(target, cache=cache) == []
+
+    def test_warm_run_is_at_least_5x_faster(self, tmp_path):
+        import time
+
+        src_repro = Path(__file__).parents[2] / "src" / "repro"
+        cache_dir = tmp_path / "cache"
+
+        start = time.perf_counter()
+        cold = lint_paths([src_repro], cache_dir=cache_dir)
+        cold_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = lint_paths([src_repro], cache_dir=cache_dir)
+        warm_elapsed = time.perf_counter() - start
+
+        assert cold == warm == []
+        assert warm_elapsed * 5 <= cold_elapsed, (
+            f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s"
+        )
