@@ -1,0 +1,233 @@
+"""Sharded Monte-Carlo runtime: scheduler + shard/merge performance.
+
+The perf-regression harness for the work-queue scheduler PR.  Three
+measurements, written to ``BENCH_runtime.json`` (``baseline`` pinned on
+first capture, ``latest`` rewritten every run, same-host gating like
+``BENCH_kernel.json``):
+
+1. **Scaling curve** — wall clock of the same study at workers 1/2/4
+   through the dynamic work-queue scheduler.
+2. **Dynamic vs static** — the dynamic scheduler raced against the
+   frozen PR-3 idiom (``pool.map`` with ``static_chunksize``) on the
+   identical study.  Both sides run here and now, so the ratio is
+   hardware-independent and always asserted: dynamic must not be
+   slower than static beyond tolerance.
+3. **Shard + merge round trip** — two on-disk shards written, merged,
+   and checked bit-identical to the in-process study; merge wall clock
+   recorded as the artifact-overhead figure.
+
+A per-run dispatch-overhead figure (scheduler wall clock not accounted
+for by the runs themselves) rides along for trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from pathlib import Path
+
+from repro.core import units
+from repro.runtime import (
+    MonteCarloRunner,
+    ScenarioTask,
+    derive_seeds,
+    execute_runs,
+    merge_shards,
+    run_shard,
+)
+from repro.runtime.queue import measure_dispatch_overhead, static_chunksize
+from repro.runtime.runner import _execute
+
+from conftest import emit
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+SCENARIO = "owned-only"
+HORIZON = units.years(2.0)
+CADENCE = units.days(7.0)
+RUNS = 16
+BASE_SEED = 100
+WORKER_GRID = (1, 2, 4)
+REPS = 3
+
+#: Same-machine bar, always armed: the dynamic scheduler races the
+#: frozen static-chunk ``pool.map`` idiom on the identical study and
+#: may cost at most this factor of its wall clock.
+MAX_DYNAMIC_VS_STATIC = 1.15
+
+#: Same-host regression bar vs the pinned baseline capture.
+MAX_REGRESSION = 1.25
+
+
+def host_facts() -> dict:
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+    }
+
+
+def _task() -> ScenarioTask:
+    return ScenarioTask(
+        scenario=SCENARIO, horizon=HORIZON, report_interval=CADENCE
+    )
+
+
+def _pairs():
+    return list(zip(range(RUNS), derive_seeds(BASE_SEED, RUNS)))
+
+
+def time_dynamic(task, workers: int):
+    """Best-of-REPS wall clock through the work-queue scheduler."""
+    walls, report = [], None
+    for _ in range(REPS):
+        started = time.perf_counter()
+        report = execute_runs(_execute, task, _pairs(), workers=workers)
+        walls.append(time.perf_counter() - started)
+    return min(walls), report
+
+
+def time_static(task, workers: int) -> float:
+    """Best-of-REPS wall clock through the frozen PR-3 static idiom."""
+    indices, seeds = zip(*_pairs())
+    chunk = static_chunksize(RUNS, workers)
+    walls = []
+    for _ in range(REPS):
+        started = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(partial(_execute, task), indices, seeds, chunksize=chunk)
+            )
+        walls.append(time.perf_counter() - started)
+        assert len(results) == RUNS
+    return min(walls)
+
+
+def measure_shard_merge(task) -> dict:
+    """Write a 2-shard partition to disk, merge, and time each phase."""
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        started = time.perf_counter()
+        for shard in range(2):
+            path = os.path.join(tmp, f"s{shard}.mcr")
+            run_shard(
+                task, runs=RUNS, base_seed=BASE_SEED, shard=shard,
+                nshards=2, out_path=path, workers=1,
+            )
+            paths.append(path)
+        shards_s = time.perf_counter() - started
+        shard_bytes = sum(os.path.getsize(p) for p in paths)
+        started = time.perf_counter()
+        study = merge_shards(paths)
+        merge_s = time.perf_counter() - started
+    return {
+        "nshards": 2,
+        "shards_wall_s": shards_s,
+        "shard_bytes": shard_bytes,
+        "merge_wall_s": merge_s,
+        "uptime": dataclasses.asdict(study.uptime),
+    }
+
+
+def load_document() -> dict:
+    if BENCH_JSON.exists():
+        return json.loads(BENCH_JSON.read_text())
+    return {"version": 1, "baseline": None, "latest": None}
+
+
+def capture() -> dict:
+    task = _task()
+    scaling = {}
+    overhead_s = None
+    for workers in WORKER_GRID:
+        wall_s, report = time_dynamic(task, workers)
+        scaling[str(workers)] = wall_s
+        if workers == max(WORKER_GRID):
+            overhead_s = measure_dispatch_overhead(report, wall_s)
+    pool_workers = 2
+    static_s = time_static(task, pool_workers)
+    dynamic_s, _ = time_dynamic(task, pool_workers)
+    return {
+        "captured_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "scheduler": "work-queue dynamic chunking",
+        "host": host_facts(),
+        "study": {
+            "scenario": SCENARIO,
+            "horizon_years": HORIZON / units.years(1.0),
+            "runs": RUNS,
+            "base_seed": BASE_SEED,
+        },
+        "scaling_s": scaling,
+        "race_workers": pool_workers,
+        "static_chunk_s": static_s,
+        "dynamic_s": dynamic_s,
+        "dispatch_overhead_per_run_s": overhead_s,
+        "shard_merge": measure_shard_merge(task),
+    }
+
+
+def test_mc_sharding_runtime(benchmark):
+    document = load_document()
+    latest = benchmark.pedantic(capture, rounds=1, iterations=1)
+
+    # Correctness rides along: the merged study must be bit-identical
+    # to the same study run in-process.
+    reference = MonteCarloRunner(
+        _task(), runs=RUNS, base_seed=BASE_SEED, workers=1
+    ).run()
+    assert latest["shard_merge"]["uptime"] == dataclasses.asdict(
+        reference.uptime
+    )
+
+    if document.get("baseline") is None:
+        document["baseline"] = latest
+    document["latest"] = latest
+    BENCH_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    baseline = document["baseline"]
+    ratio = latest["dynamic_s"] / latest["static_chunk_s"]
+    rows = [
+        "scaling        : "
+        + ", ".join(
+            f"{w}w {latest['scaling_s'][str(w)]:.2f} s" for w in WORKER_GRID
+        ),
+        f"dynamic/static : {latest['dynamic_s']:.2f} s vs "
+        f"{latest['static_chunk_s']:.2f} s ({ratio:.3f}x) at "
+        f"{latest['race_workers']} workers",
+        f"dispatch cost  : {latest['dispatch_overhead_per_run_s'] * 1e3:.2f} "
+        f"ms/run at {max(WORKER_GRID)} workers",
+        f"shard+merge    : {latest['shard_merge']['shards_wall_s']:.2f} s to "
+        f"write {latest['shard_merge']['shard_bytes']:,} B, "
+        f"{latest['shard_merge']['merge_wall_s'] * 1e3:.1f} ms to merge",
+    ]
+    same_host = baseline["host"]["hostname"] == platform.node()
+    regression = latest["dynamic_s"] / baseline["dynamic_s"]
+    rows.append(
+        f"vs baseline    : {baseline['dynamic_s']:.2f} s → "
+        f"{latest['dynamic_s']:.2f} s ({regression:.2f}x"
+        f"{', same host' if same_host else ', DIFFERENT host — informational'})"
+    )
+    rows.append(f"wrote latest → {BENCH_JSON.name}")
+    emit(rows)
+
+    # Same-machine bar, always armed: both schedulers just ran here.
+    assert ratio <= MAX_DYNAMIC_VS_STATIC, (
+        f"dynamic scheduler is {ratio:.3f}x the static-chunk baseline "
+        f"(> allowed {MAX_DYNAMIC_VS_STATIC}x)"
+    )
+
+    # Regression bar vs the pinned capture, armed only on its host.
+    if same_host:
+        assert regression <= MAX_REGRESSION, (
+            f"dynamic wall clock is {regression:.2f}x the pinned baseline "
+            f"(> allowed {MAX_REGRESSION}x)"
+        )

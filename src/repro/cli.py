@@ -7,6 +7,8 @@ Exposes the most-used entry points without writing Python::
     python -m repro mc as-designed --runs 10 --workers 4
     python -m repro mc as-designed --faults plan.json --audit
     python -m repro mc as-designed --runs 4 --metrics out.jsonl
+    python -m repro mc as-designed --runs 100 --shard 0/4 --out shard_0.mcr
+    python -m repro mc-merge shard_*.mcr --metrics merged.jsonl
     python -m repro run as-designed --metrics run.prom --metrics-format prom
     python -m repro quote --years 50 --per-hour 1
     python -m repro tco --gateways 100 --horizon 50
@@ -116,40 +118,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if auditor is None or not auditor.violations else 1
 
 
-def _cmd_mc(args: argparse.Namespace) -> int:
-    import os
-
-    from .experiment import SCENARIOS
-    from .runtime import MonteCarloRunner, ScenarioTask
-
-    if args.scenario not in SCENARIOS:
-        print(
-            f"unknown scenario {args.scenario!r}; options: {sorted(SCENARIOS)}",
-            file=sys.stderr,
+def _parse_shard(spec: str):
+    """Parse ``--shard I/N``; returns (shard, nshards) or raises ValueError."""
+    parts = spec.split("/")
+    if len(parts) != 2:
+        raise ValueError(f"--shard must look like I/N, got {spec!r}")
+    try:
+        shard, nshards = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(f"--shard must look like I/N, got {spec!r}")
+    if nshards < 1 or not 0 <= shard < nshards:
+        raise ValueError(
+            f"--shard needs 0 <= I < N with N >= 1, got {spec!r}"
         )
-        return 2
-    if args.runs < 1:
-        print("--runs must be >= 1", file=sys.stderr)
-        return 2
-    if args.workers < 0:
-        print("--workers must be >= 0 (0 = one per CPU)", file=sys.stderr)
-        return 2
-    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
-    plan = _load_fault_plan(args.faults)
-    task = ScenarioTask(
-        scenario=args.scenario,
-        horizon=units.years(args.years),
-        report_interval=units.days(args.report_days),
-        faults=plan,
-        audit=args.audit,
+    return shard, nshards
+
+
+def _study_metrics_entries(study):
+    """The canonical ``--metrics`` entries for a study: one line per run
+    plus a merged line — identical whether the study ran unsharded or
+    was reassembled by ``mc-merge``."""
+    per_run = [
+        ({"run": run.index, "seed": run.seed}, run.metrics)
+        for run in study.runs
+    ]
+    merged = (
+        {"merged": True, "runs": len(study.runs), "base_seed": study.base_seed},
+        study.merged_metrics(),
     )
-    study = MonteCarloRunner(
-        task, runs=args.runs, base_seed=args.base_seed, workers=workers
-    ).run()
+    return per_run, merged
+
+
+def _print_study(args: argparse.Namespace, study, with_faults: bool) -> None:
+    """Shared study rendering for ``mc`` and ``mc-merge``."""
     for line in study.summary_lines():
         print(line)
     if args.per_run:
-        with_faults = plan is not None or args.audit
         print(
             f"{'run':>4} {'uptime':>8} {'events':>10} {'peak-q':>7} {'secs':>7}"
             + (f" {'faults':>7} {'viols':>6}" if with_faults else "")
@@ -163,16 +167,83 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                 line += f" {run.faults_fired:>7} {run.invariant_violations:>6}"
             print(line)
     if args.metrics:
-        per_run = [
-            ({"run": run.index, "seed": run.seed}, run.metrics)
-            for run in study.runs
-        ]
-        merged = (
-            {"merged": True, "runs": len(study.runs), "base_seed": study.base_seed},
-            study.merged_metrics(),
-        )
+        per_run, merged = _study_metrics_entries(study)
         _write_metrics_file(args, per_run, merged=merged)
-    return 0 if not (args.audit and study.total_invariant_violations) else 1
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from .experiment import SCENARIOS
+    from .runtime import MonteCarloRunner, ScenarioTask, resolve_workers, run_shard
+
+    if args.scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; options: {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    plan = _load_fault_plan(args.faults)
+    task = ScenarioTask(
+        scenario=args.scenario,
+        horizon=units.years(args.years),
+        report_interval=units.days(args.report_days),
+        faults=plan,
+        audit=args.audit,
+    )
+    if args.shard is not None:
+        try:
+            shard, nshards = _parse_shard(args.shard)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not args.out:
+            print("--shard requires --out SHARD.mcr", file=sys.stderr)
+            return 2
+        if args.metrics:
+            print(
+                "--metrics is not available with --shard; merge the shards "
+                "with `mc-merge --metrics` instead",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_shard(
+            task,
+            runs=args.runs,
+            base_seed=args.base_seed,
+            shard=shard,
+            nshards=nshards,
+            out_path=args.out,
+            workers=workers,
+        )
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.failed == 0 else 1
+    study = MonteCarloRunner(
+        task, runs=args.runs, base_seed=args.base_seed, workers=workers
+    ).run()
+    _print_study(args, study, with_faults=plan is not None or args.audit)
+    if args.audit and study.total_invariant_violations:
+        return 1
+    return 0 if not study.failures else 1
+
+
+def _cmd_mc_merge(args: argparse.Namespace) -> int:
+    from .runtime import ShardError, merge_shards
+
+    try:
+        study = merge_shards(args.shards)
+    except (OSError, ShardError) as exc:
+        print(f"cannot merge shards: {exc}", file=sys.stderr)
+        return 2
+    _print_study(args, study, with_faults=study.total_faults_injected > 0)
+    return 0 if not study.failures else 1
 
 
 def _cmd_quote(args: argparse.Namespace) -> int:
@@ -313,6 +384,28 @@ def build_parser() -> argparse.ArgumentParser:
                     default="jsonl",
                     help="metrics file format (canonical JSONL or "
                          "Prometheus text; default jsonl)")
+    mc.add_argument("--shard", metavar="I/N", default=None,
+                    help="run only the seed-schedule slice "
+                         "{k : k = I (mod N)} and write a shard artifact "
+                         "(requires --out; merge with mc-merge)")
+    mc.add_argument("--out", metavar="SHARD.mcr", default=None,
+                    help="shard artifact output path (with --shard)")
+
+    merge = sub.add_parser(
+        "mc-merge",
+        help="merge mc --shard artifacts into the exact unsharded study",
+    )
+    merge.add_argument("shards", nargs="+", metavar="SHARD.mcr",
+                       help="shard artifacts covering every run index")
+    merge.add_argument("--per-run", action="store_true",
+                       help="print the per-run observability table")
+    merge.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write per-run + merged metrics to PATH "
+                            "(byte-identical to the unsharded run's)")
+    merge.add_argument("--metrics-format", choices=("jsonl", "prom"),
+                       default="jsonl",
+                       help="metrics file format (canonical JSONL or "
+                            "Prometheus text; default jsonl)")
 
     quote = sub.add_parser("quote", help="prepaid data-credit quote (§4.4)")
     quote.add_argument("--years", type=float, default=50.0)
@@ -351,6 +444,7 @@ COMMANDS = {
     "scenarios": _cmd_scenarios,
     "run": _cmd_run,
     "mc": _cmd_mc,
+    "mc-merge": _cmd_mc_merge,
     "quote": _cmd_quote,
     "tco": _cmd_tco,
     "la": _cmd_la,

@@ -26,6 +26,9 @@ from .plan import (
     FaultController,
     FaultPlan,
     FaultPlanError,
+    FaultRecord,
+    fault_stream_from_json,
+    fault_stream_to_json,
     load_plan,
 )
 from .plans import pinned_chaos_plan
@@ -47,6 +50,9 @@ __all__ = [
     "FaultController",
     "FaultPlan",
     "FaultPlanError",
+    "FaultRecord",
+    "fault_stream_from_json",
+    "fault_stream_to_json",
     "FaultSpec",
     "FlapFault",
     "HotspotChurnBurst",

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
 
 from .spec import SPEC_KINDS, FaultSpec
 
@@ -289,3 +289,29 @@ def load_plan(path: str) -> FaultPlan:
         except json.JSONDecodeError as exc:
             raise FaultPlanError(f"{path}: invalid JSON: {exc}") from exc
     return FaultPlan.from_dict(payload)
+
+
+def fault_stream_to_json(stream: Iterable[FaultRecord]) -> list:
+    """Project an executed fault stream into JSON-ready lists.
+
+    Shard artifacts carry each run's fault stream across process and
+    host boundaries; ``json`` round-trips floats via shortest-repr, so
+    the reconstructed stream is bit-identical to the executed one.
+    """
+    return [
+        [time_s, key, action, list(targets)]
+        for time_s, key, action, targets in stream
+    ]
+
+
+def fault_stream_from_json(payload: Iterable) -> Tuple[FaultRecord, ...]:
+    """Rebuild an executed fault stream from its JSON projection."""
+    return tuple(
+        (
+            float(time_s),
+            str(key),
+            str(action),
+            tuple(str(name) for name in targets),
+        )
+        for time_s, key, action, targets in payload
+    )

@@ -22,7 +22,9 @@ draws randomness, or schedules events.
 """
 
 from .export import (
+    SnapshotStreamWriter,
     load_snapshot_line,
+    read_jsonl,
     snapshot_json,
     to_prometheus,
     write_jsonl,
@@ -52,9 +54,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "SnapshotStreamWriter",
     "Span",
     "canonical_labels",
     "load_snapshot_line",
+    "read_jsonl",
     "merge_all",
     "snapshot_json",
     "to_prometheus",

@@ -15,7 +15,7 @@ tooling; it shares the same canonical ordering.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from .snapshot import LabelPairs, MetricsSnapshot
 
@@ -38,18 +38,62 @@ def load_snapshot_line(line: str) -> Tuple[dict, MetricsSnapshot]:
     return payload, snapshot
 
 
+class SnapshotStreamWriter:
+    """Incremental canonical-JSONL snapshot writer.
+
+    Streams one line per ``(meta, snapshot)`` entry the moment it is
+    written — O(1) memory regardless of study size, which is what lets
+    a 10k-run shard export its per-run snapshots without holding them.
+    Bytes are identical to a batch :func:`write_jsonl` of the same
+    entries in the same order.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.lines = 0
+        self._closed = False
+
+    def write(self, meta: dict, snapshot: MetricsSnapshot) -> None:
+        """Append one canonical snapshot line."""
+        self._handle.write(snapshot_json(snapshot, **meta))
+        self._handle.write("\n")
+        self.lines += 1
+
+    def close(self) -> None:
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "SnapshotStreamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def write_jsonl(
     path: str, entries: Iterable[Tuple[dict, MetricsSnapshot]]
 ) -> int:
     """Write ``(meta, snapshot)`` entries as canonical JSONL; returns
     the number of lines written."""
-    lines = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with SnapshotStreamWriter(path) as writer:
         for meta, snapshot in entries:
-            handle.write(snapshot_json(snapshot, **meta))
-            handle.write("\n")
-            lines += 1
-    return lines
+            writer.write(meta, snapshot)
+        return writer.lines
+
+
+def read_jsonl(path: str) -> Iterator[Tuple[dict, MetricsSnapshot]]:
+    """Lazily yield ``(meta, snapshot)`` entries back from a JSONL file.
+
+    The streaming counterpart of :class:`SnapshotStreamWriter`: one
+    line is parsed at a time, so merging arbitrarily large metric files
+    holds a single snapshot resident.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                yield load_snapshot_line(line)
 
 
 # ----------------------------------------------------------------------

@@ -1,13 +1,28 @@
-"""Deterministic parallel Monte-Carlo execution layer.
+"""Deterministic parallel and distributed Monte-Carlo execution.
 
 One simulation run is single-threaded by design; a *study* of many
-seeds is embarrassingly parallel.  This package fans runs across worker
-processes while guaranteeing bit-identical aggregates at any worker
-count — seeds are fixed up front via the hash-chained
-:meth:`repro.core.rng.RandomStreams.fork` lineage, and results are
-reassembled in run order.
+seeds is embarrassingly parallel.  Three layers compose:
+
+* :mod:`repro.runtime.queue` — the dynamic work-queue scheduler:
+  adaptive chunking, per-run failure capture, broken-pool recovery,
+  and an in-order collector that makes streaming memory-bounded.
+* :mod:`repro.runtime.runner` — :class:`MonteCarloRunner`, the study
+  front-end: seed schedules via the hash-chained
+  :meth:`repro.core.rng.RandomStreams.fork` lineage, bit-identical
+  aggregates at any worker count.
+* :mod:`repro.runtime.shard` — on-disk shard artifacts (``.mcr``) and
+  the multi-host merge: a study partitioned across hosts merges back
+  byte-identical to the unsharded single-process run.
 """
 
+from .queue import (
+    ExecutionReport,
+    ExecutionStats,
+    FailedRun,
+    MonteCarloExecutionError,
+    execute_runs,
+    resolve_workers,
+)
 from .runner import (
     MonteCarloRunner,
     MonteCarloStudy,
@@ -16,12 +31,44 @@ from .runner import (
     ScenarioTask,
     derive_seeds,
 )
+from .shard import (
+    SHARD_FORMAT_VERSION,
+    ShardError,
+    ShardManifest,
+    ShardRunReport,
+    ShardWriter,
+    iter_shard,
+    load_shard,
+    merge_shards,
+    read_manifest,
+    run_shard,
+    shard_indices,
+    task_fingerprint,
+)
 
 __all__ = [
+    "ExecutionReport",
+    "ExecutionStats",
+    "FailedRun",
+    "MonteCarloExecutionError",
     "MonteCarloRunner",
     "MonteCarloStudy",
     "MonteCarloTask",
     "RunResult",
+    "SHARD_FORMAT_VERSION",
     "ScenarioTask",
+    "ShardError",
+    "ShardManifest",
+    "ShardRunReport",
+    "ShardWriter",
     "derive_seeds",
+    "execute_runs",
+    "iter_shard",
+    "load_shard",
+    "merge_shards",
+    "read_manifest",
+    "resolve_workers",
+    "run_shard",
+    "shard_indices",
+    "task_fingerprint",
 ]

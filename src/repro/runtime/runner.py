@@ -26,10 +26,7 @@ same ordering, same aggregate statistics.
 
 from __future__ import annotations
 
-import math
 import time
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple, Union
 
@@ -38,6 +35,13 @@ from ..core import units
 from ..core.rng import RandomStreams
 from ..faults import FaultPlan, InvariantAuditor
 from ..obs import EMPTY_SNAPSHOT, MetricsSnapshot, merge_all
+from .queue import (
+    ExecutionReport,
+    FailedRun,
+    MonteCarloExecutionError,
+    execute_runs,
+    resolve_workers,
+)
 
 #: A unit of Monte-Carlo work: ``task(index, seed)``.  Must be picklable
 #: (a module-level function or a frozen dataclass like ScenarioTask) for
@@ -121,7 +125,12 @@ class RunResult:
 
 @dataclass(frozen=True)
 class MonteCarloStudy:
-    """Everything a many-seed study produces, runs plus aggregate."""
+    """Everything a many-seed study produces, runs plus aggregate.
+
+    ``runs`` holds the successful results in index order; ``failures``
+    holds the per-run failure records (a poisoned seed no longer aborts
+    the study — see :class:`~repro.runtime.queue.FailedRun`).
+    """
 
     label: str
     base_seed: int
@@ -129,6 +138,7 @@ class MonteCarloStudy:
     runs: List[RunResult]
     uptime: MonteCarloUptime
     wall_clock_s: float
+    failures: Tuple[FailedRun, ...] = ()
 
     @property
     def total_events(self) -> int:
@@ -175,6 +185,12 @@ class MonteCarloStudy:
                 f"faults: {self.total_faults_fired} fired of "
                 f"{self.total_faults_injected} injected; "
                 f"invariant violations: {self.total_invariant_violations}"
+            )
+        if self.failures:
+            first = self.failures[0]
+            lines.append(
+                f"failures: {len(self.failures)} run(s) failed; "
+                f"first: run {first.index} (seed {first.seed}) — {first.error}"
             )
         return lines
 
@@ -289,12 +305,11 @@ class MonteCarloRunner:
     ) -> None:
         if runs < 1:
             raise ValueError("runs must be >= 1")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
         self.task = task
         self.runs = int(runs)
         self.base_seed = int(base_seed)
-        self.workers = int(workers)
+        # ``0`` means one worker per CPU; resolved once, here.
+        self.workers = resolve_workers(workers)
         self.label = label or getattr(task, "scenario", type(task).__name__)
 
     def seeds(self) -> List[int]:
@@ -302,54 +317,53 @@ class MonteCarloRunner:
         return derive_seeds(self.base_seed, self.runs)
 
     def run(self) -> MonteCarloStudy:
-        """Execute all runs and aggregate; identical at any worker count."""
+        """Execute all runs and aggregate; identical at any worker count.
+
+        Execution rides the dynamic work-queue scheduler
+        (:func:`~repro.runtime.queue.execute_runs`): per-run failures
+        are collected into :attr:`MonteCarloStudy.failures` instead of
+        aborting the study, and a broken worker pool re-executes only
+        the indices that were in flight.
+        """
         started = time.perf_counter()
-        seeds = self.seeds()
-        indices = list(range(self.runs))
-        if self.workers == 1:
-            results = self._run_serial(indices, seeds)
-        else:
-            results = self._run_pool(indices, seeds)
-        uptime = MonteCarloUptime.from_samples([r.sample for r in results])
+        report = self.execute()
+        if not report.results:
+            first = report.failures[0]
+            raise MonteCarloExecutionError(
+                f"all {self.runs} runs failed; first failure "
+                f"(run {first.index}, seed {first.seed}): {first.error}"
+            )
+        uptime = MonteCarloUptime.from_samples(
+            [r.sample for r in report.results]
+        )
         return MonteCarloStudy(
             label=self.label,
             base_seed=self.base_seed,
             workers=self.workers,
-            runs=results,
+            runs=report.results,
             uptime=uptime,
             wall_clock_s=time.perf_counter() - started,
+            failures=tuple(report.failures),
         )
 
-    # ------------------------------------------------------------------
-    # Execution strategies
-    # ------------------------------------------------------------------
-    def _run_serial(self, indices: List[int], seeds: List[int]) -> List[RunResult]:
-        return [_execute(self.task, i, s) for i, s in zip(indices, seeds)]
+    def execute(
+        self,
+        consume: Optional[Callable[[RunResult], None]] = None,
+        on_failure: Optional[Callable[[FailedRun], None]] = None,
+    ) -> ExecutionReport:
+        """Run the schedule through the scheduler, optionally streaming.
 
-    def _run_pool(self, indices: List[int], seeds: List[int]) -> List[RunResult]:
-        try:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                # Executor.map preserves submission order, so results come
-                # back index-sorted no matter which worker finishes first.
-                # Explicit chunksize amortizes per-item IPC: the default of 1
-                # round-trips one pickled task per run, which dominates wall
-                # clock for short tasks.  Four chunks per worker keeps the
-                # tail balanced when run times vary.
-                chunksize = max(1, math.ceil(self.runs / (4 * self.workers)))
-                return list(
-                    pool.map(
-                        _execute,
-                        [self.task] * self.runs,
-                        indices,
-                        seeds,
-                        chunksize=chunksize,
-                    )
-                )
-        except (OSError, ImportError, NotImplementedError, PermissionError) as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc!r}); falling back to serial "
-                f"execution — results are identical, only slower",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return self._run_serial(indices, seeds)
+        With ``consume`` set, results are handed over one at a time in
+        index order and *not* retained — the shard executor uses this to
+        keep a 10k-run study at O(workers) resident results.
+        """
+        seeds = self.seeds()
+        pairs = list(zip(range(self.runs), seeds))
+        return execute_runs(
+            _execute,
+            self.task,
+            pairs,
+            workers=self.workers,
+            consume=consume,
+            on_failure=on_failure,
+        )

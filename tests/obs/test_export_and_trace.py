@@ -8,7 +8,9 @@ from repro.core.engine import Simulation
 from repro.obs import (
     EventTracer,
     MetricsRegistry,
+    SnapshotStreamWriter,
     load_snapshot_line,
+    read_jsonl,
     snapshot_json,
     to_prometheus,
     write_jsonl,
@@ -65,6 +67,29 @@ class TestJsonl:
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown metrics format"):
             write_metrics(str(tmp_path / "x"), [], fmt="csv")
+
+    def test_stream_writer_bytes_match_batch(self, tmp_path):
+        """Incremental writes produce the exact bytes of write_jsonl."""
+        snap = sample_snapshot()
+        entries = [({"run": 0}, snap), ({"run": 1}, snap.merge(snap))]
+        batch = tmp_path / "batch.jsonl"
+        streamed = tmp_path / "streamed.jsonl"
+        write_jsonl(str(batch), entries)
+        with SnapshotStreamWriter(str(streamed)) as writer:
+            for meta, entry in entries:
+                writer.write(meta, entry)
+        assert writer.lines == 2
+        assert streamed.read_bytes() == batch.read_bytes()
+
+    def test_read_jsonl_is_lazy_and_round_trips(self, tmp_path):
+        snap = sample_snapshot()
+        path = tmp_path / "m.jsonl"
+        write_jsonl(str(path), [({"run": i}, snap) for i in range(3)])
+        stream = read_jsonl(str(path))
+        first_meta, first_snap = next(stream)
+        assert first_meta == {"run": 0}
+        assert first_snap == snap
+        assert [meta["run"] for meta, _ in stream] == [1, 2]
 
 
 class TestPrometheus:

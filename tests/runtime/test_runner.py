@@ -47,7 +47,13 @@ class TestMonteCarloRunner:
         with pytest.raises(ValueError):
             MonteCarloRunner(_sample_from_seed, runs=0)
         with pytest.raises(ValueError):
-            MonteCarloRunner(_sample_from_seed, runs=1, workers=0)
+            MonteCarloRunner(_sample_from_seed, runs=1, workers=-1)
+
+    def test_workers_zero_resolves_to_cpu_count(self):
+        import os
+
+        runner = MonteCarloRunner(_sample_from_seed, runs=1, workers=0)
+        assert runner.workers == (os.cpu_count() or 1)
 
     def test_serial_runs_in_index_order(self):
         study = MonteCarloRunner(_structured_task, runs=4, base_seed=1).run()

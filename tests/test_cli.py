@@ -95,3 +95,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "e05_tco.csv" in out
         assert (tmp_path / "figs" / "e15_channel.csv").exists()
+
+class TestShardedExecution:
+    """mc --shard / mc-merge: the distributed-execution CLI surface."""
+
+    MC = ["mc", "owned-only", "--runs", "4", "--years", "1",
+          "--report-days", "7"]
+
+    def test_shard_then_merge_matches_workers_1(self, tmp_path, capsys):
+        single = tmp_path / "single.jsonl"
+        assert main(self.MC + ["--workers", "1",
+                               "--metrics", str(single)]) == 0
+        shards = []
+        for i in range(2):
+            out = tmp_path / f"s{i}.mcr"
+            assert main(self.MC + ["--shard", f"{i}/2",
+                                   "--out", str(out)]) == 0
+            shards.append(str(out))
+        text = capsys.readouterr().out
+        assert "shard 0/2" in text
+        assert "shard 1/2" in text
+        merged = tmp_path / "merged.jsonl"
+        assert main(["mc-merge"] + shards + ["--metrics", str(merged)]) == 0
+        assert "4 runs" in capsys.readouterr().out
+        # The acceptance criterion: byte-identical metrics JSONL.
+        assert merged.read_bytes() == single.read_bytes()
+
+    def test_shard_requires_out(self, capsys):
+        assert main(self.MC + ["--shard", "0/2"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_shard_rejects_metrics(self, tmp_path, capsys):
+        args = self.MC + ["--shard", "0/2", "--out", str(tmp_path / "s.mcr"),
+                          "--metrics", str(tmp_path / "m.jsonl")]
+        assert main(args) == 2
+        assert "mc-merge" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["2", "a/b", "2/2", "-1/2", "0/0"])
+    def test_malformed_shard_spec(self, spec, tmp_path, capsys):
+        args = self.MC + [f"--shard={spec}", "--out", str(tmp_path / "s.mcr")]
+        assert main(args) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_merge_rejects_incompatible_shards(self, tmp_path, capsys):
+        a = tmp_path / "a.mcr"
+        b = tmp_path / "b.mcr"
+        assert main(self.MC + ["--shard", "0/2", "--out", str(a)]) == 0
+        assert main(["mc", "owned-only", "--runs", "4", "--years", "1",
+                     "--report-days", "7", "--base-seed", "999",
+                     "--shard", "1/2", "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["mc-merge", str(a), str(b)]) == 2
+        assert "cannot merge shards" in capsys.readouterr().err
+
+    def test_merge_missing_file(self, tmp_path, capsys):
+        assert main(["mc-merge", str(tmp_path / "nope.mcr")]) == 2
+        assert "cannot merge shards" in capsys.readouterr().err
