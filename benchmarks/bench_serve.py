@@ -1,0 +1,254 @@
+"""Serving-layer throughput: the perfect cache under closed-loop load.
+
+The paper's §4.4 data-endpoint framing makes the serving layer a
+first-class artifact, so it gets the same perf-regression treatment as
+the kernel and the scheduler (``BENCH_serve.json``, baseline pinned on
+first capture, ``latest`` rewritten every run, same-host gating):
+
+1. **Cache-hit throughput over HTTP** — closed-loop clients on
+   keep-alive connections hammering one already-cached request
+   through the full asyncio front end.  This is the acceptance
+   number: thousands of requests per second served without touching
+   the worker pool (floor configurable via ``SERVE_BENCH_HIT_FLOOR``
+   for slower CI hosts; default 1000 req/s).
+2. **Service-level hit throughput** — the same hit path without HTTP
+   framing, isolating codec cost from cache cost.
+3. **Cold-run latency vs workers** — distinct (seed-varied) requests
+   through a real process pool at 1 and 2 workers: the pooled
+   execution path the misses take.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import (
+    HttpServer,
+    ResponseCache,
+    ScenarioService,
+    parse_request,
+)
+
+from conftest import emit
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+SCENARIO = "owned-only"
+YEARS = 0.1
+#: Closed-loop load shape: connections x requests-per-connection.
+CONNECTIONS = 4
+REQUESTS_PER_CONNECTION = 500
+#: Cold-path shape: distinct seeds, so every request is a true miss.
+COLD_RUNS = 8
+WORKER_GRID = (1, 2)
+
+#: The acceptance floor on cache-hit throughput.  Local runs must show
+#: thousands of requests per second; CI hosts override the floor down
+#: via the environment (they are slow and shared, and the property
+#: under test is "hits bypass the pool", not this host's syscall rate).
+HIT_FLOOR_RPS = float(os.environ.get("SERVE_BENCH_HIT_FLOOR", "1000"))
+
+#: Same-host regression bar vs the pinned baseline capture.
+MAX_REGRESSION = 1.30
+
+
+def host_facts() -> dict:
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+    }
+
+
+def _request(seed: int = 2021):
+    return parse_request(
+        {"scenario": SCENARIO, "seed": seed, "years": YEARS}, "run"
+    )
+
+
+def _request_bytes(seed: int = 2021) -> bytes:
+    body = _request(seed).to_json().encode("utf-8")
+    return (
+        f"POST /v1/run HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+async def _read_response(reader: asyncio.StreamReader) -> bytes:
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.decode("latin-1").split("\r\n"):
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1])
+    return await reader.readexactly(length)
+
+
+async def _client_loop(port: int, wire: bytes, requests: int) -> int:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    served = 0
+    for _ in range(requests):
+        writer.write(wire)
+        await writer.drain()
+        body = await _read_response(reader)
+        served += len(body) > 0
+    writer.close()
+    return served
+
+
+async def measure_http_hits() -> dict:
+    """Closed-loop keep-alive load against one cached request."""
+    service = ScenarioService(workers=1, cache=ResponseCache())
+    server = HttpServer(service, port=0)
+    await server.start()
+    try:
+        # Prewarm: the one miss this benchmark ever takes.
+        warm = await service.handle(_request())
+        assert warm.status == 200 and warm.cache == "miss"
+
+        wire = _request_bytes()
+        started = time.perf_counter()
+        served = await asyncio.gather(
+            *(
+                _client_loop(server.port, wire, REQUESTS_PER_CONNECTION)
+                for _ in range(CONNECTIONS)
+            )
+        )
+        wall_s = time.perf_counter() - started
+        total = sum(served)
+        assert total == CONNECTIONS * REQUESTS_PER_CONNECTION
+
+        # The hit/miss ratio is on the metrics page, as the issue asks.
+        text = service.metrics_text()
+        assert f"serve_cache_hits_total {total}" in text
+        assert "serve_cache_misses_total 1" in text
+        # Hits never touched the pool: exactly the prewarm execution.
+        assert "serve_executions_total 1" in text
+    finally:
+        await server.stop()
+    return {
+        "connections": CONNECTIONS,
+        "requests": total,
+        "wall_s": wall_s,
+        "rps": total / wall_s,
+        "body_bytes": len(warm.body),
+    }
+
+
+async def measure_service_hits() -> dict:
+    """The hit path without HTTP framing: digest + cache probe only."""
+    service = ScenarioService(workers=1, cache=ResponseCache())
+    request = _request()
+    warm = await service.handle(request)
+    assert warm.cache == "miss"
+    count = CONNECTIONS * REQUESTS_PER_CONNECTION
+    started = time.perf_counter()
+    for _ in range(count):
+        response = await service.handle(request)
+        assert response.cache == "hit"
+    wall_s = time.perf_counter() - started
+    service.close()
+    return {"requests": count, "wall_s": wall_s, "rps": count / wall_s}
+
+
+async def measure_cold_runs(workers: int) -> dict:
+    """Distinct-seed misses through a real process pool."""
+    service = ScenarioService(
+        workers=workers, queue_limit=COLD_RUNS, cache=ResponseCache()
+    )
+    requests = [_request(seed=1000 + index) for index in range(COLD_RUNS)]
+    started = time.perf_counter()
+    responses = await asyncio.gather(
+        *(service.handle(request) for request in requests)
+    )
+    wall_s = time.perf_counter() - started
+    assert all(r.status == 200 and r.cache == "miss" for r in responses)
+    service.close()
+    return {
+        "runs": COLD_RUNS,
+        "wall_s": wall_s,
+        "runs_per_s": COLD_RUNS / wall_s,
+    }
+
+
+def load_document() -> dict:
+    if BENCH_JSON.exists():
+        return json.loads(BENCH_JSON.read_text())
+    return {"version": 1, "baseline": None, "latest": None}
+
+
+def capture() -> dict:
+    async def measure() -> dict:
+        http_hits = await measure_http_hits()
+        service_hits = await measure_service_hits()
+        cold = {}
+        for workers in WORKER_GRID:
+            cold[str(workers)] = await measure_cold_runs(workers)
+        return {
+            "http_hits": http_hits,
+            "service_hits": service_hits,
+            "cold_runs": cold,
+        }
+
+    measured = asyncio.run(measure())
+    return {
+        "captured_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": host_facts(),
+        "request": {"scenario": SCENARIO, "years": YEARS},
+        **measured,
+    }
+
+
+def test_serve_throughput(benchmark):
+    document = load_document()
+    latest = benchmark.pedantic(capture, rounds=1, iterations=1)
+
+    if document.get("baseline") is None:
+        document["baseline"] = latest
+    document["latest"] = latest
+    BENCH_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    baseline = document["baseline"]
+    http_rps = latest["http_hits"]["rps"]
+    service_rps = latest["service_hits"]["rps"]
+    cold = latest["cold_runs"]
+    rows = [
+        f"cache hits (HTTP)    : {http_rps:,.0f} req/s over "
+        f"{latest['http_hits']['connections']} keep-alive connections "
+        f"({latest['http_hits']['body_bytes']:,} B bodies)",
+        f"cache hits (service) : {service_rps:,.0f} req/s without framing",
+        "cold runs            : "
+        + ", ".join(
+            f"{w}w {cold[str(w)]['runs_per_s']:.1f} runs/s"
+            for w in WORKER_GRID
+        ),
+    ]
+    same_host = baseline["host"]["hostname"] == platform.node()
+    regression = baseline["http_hits"]["rps"] / http_rps
+    rows.append(
+        f"vs baseline          : {baseline['http_hits']['rps']:,.0f} → "
+        f"{http_rps:,.0f} req/s ({regression:.2f}x"
+        f"{', same host' if same_host else ', DIFFERENT host — informational'})"
+    )
+    rows.append(f"wrote latest → {BENCH_JSON.name}")
+    emit(rows)
+
+    # The acceptance floor: cache hits are served at four digits per
+    # second locally (floor lowered via SERVE_BENCH_HIT_FLOOR on CI).
+    assert http_rps >= HIT_FLOOR_RPS, (
+        f"cache-hit throughput {http_rps:,.0f} req/s is below the "
+        f"{HIT_FLOOR_RPS:,.0f} req/s floor"
+    )
+
+    if same_host:
+        assert regression <= MAX_REGRESSION, (
+            f"cache-hit throughput fell to 1/{regression:.2f} of the "
+            f"pinned baseline (> allowed {MAX_REGRESSION}x)"
+        )

@@ -32,6 +32,7 @@ Subpackages
 ``faults``        deterministic fault injection + invariant auditing
 ``obs``           deterministic telemetry: metrics, traces, exporters
 ``runtime``       deterministic parallel Monte-Carlo execution
+``serve``         scenario-as-a-service HTTP endpoint, content-keyed cache
 """
 
 __version__ = "1.0.0"
@@ -50,6 +51,7 @@ from . import (
     radio,
     reliability,
     runtime,
+    serve,
 )
 
 __all__ = [
@@ -66,5 +68,6 @@ __all__ = [
     "radio",
     "reliability",
     "runtime",
+    "serve",
     "__version__",
 ]

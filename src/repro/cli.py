@@ -10,6 +10,7 @@ Exposes the most-used entry points without writing Python::
     python -m repro mc as-designed --runs 100 --shard 0/4 --out shard_0.mcr
     python -m repro mc-merge shard_*.mcr --metrics merged.jsonl
     python -m repro run as-designed --metrics run.prom --metrics-format prom
+    python -m repro serve --port 8351 --workers 4
     python -m repro quote --years 50 --per-hour 1
     python -m repro tco --gateways 100 --horizon 50
     python -m repro la                        # the §1 labor arithmetic
@@ -104,6 +105,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if auditor is not None:
         auditor.check_now()
+        # Record the verdict in the snapshot exactly like ScenarioTask
+        # does, so an audited offline `run --metrics` file stays
+        # byte-identical to the served `/v1/run` response.
+        experiment.sim.metrics.gauge(
+            "run_invariant_violations", agg="sum"
+        ).set(len(auditor.violations))
         print(f"invariant violations: {len(auditor.violations)}")
         for violation in auditor.violations:
             print(f"  {violation}")
@@ -134,21 +141,6 @@ def _parse_shard(spec: str):
     return shard, nshards
 
 
-def _study_metrics_entries(study):
-    """The canonical ``--metrics`` entries for a study: one line per run
-    plus a merged line — identical whether the study ran unsharded or
-    was reassembled by ``mc-merge``."""
-    per_run = [
-        ({"run": run.index, "seed": run.seed}, run.metrics)
-        for run in study.runs
-    ]
-    merged = (
-        {"merged": True, "runs": len(study.runs), "base_seed": study.base_seed},
-        study.merged_metrics(),
-    )
-    return per_run, merged
-
-
 def _print_study(args: argparse.Namespace, study, with_faults: bool) -> None:
     """Shared study rendering for ``mc`` and ``mc-merge``."""
     for line in study.summary_lines():
@@ -167,7 +159,9 @@ def _print_study(args: argparse.Namespace, study, with_faults: bool) -> None:
                 line += f" {run.faults_fired:>7} {run.invariant_violations:>6}"
             print(line)
     if args.metrics:
-        per_run, merged = _study_metrics_entries(study)
+        from .runtime import study_metrics_entries
+
+        per_run, merged = study_metrics_entries(study)
         _write_metrics_file(args, per_run, merged=merged)
 
 
@@ -244,6 +238,35 @@ def _cmd_mc_merge(args: argparse.Namespace) -> int:
         return 2
     _print_study(args, study, with_faults=study.total_faults_injected > 0)
     return 0 if not study.failures else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime import resolve_workers
+    from .serve import ResponseCache, ScenarioService, serve_forever
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cache = ResponseCache(
+        max_memory_bytes=int(args.cache_mem_mb * 1024 * 1024),
+        disk_dir=args.cache_dir,
+        max_disk_bytes=int(args.cache_disk_mb * 1024 * 1024),
+    )
+    service = ScenarioService(
+        workers=workers,
+        queue_limit=args.queue_limit,
+        timeout_s=args.timeout_s,
+        cache=cache,
+    )
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_quote(args: argparse.Namespace) -> int:
@@ -407,6 +430,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metrics file format (canonical JSONL or "
                             "Prometheus text; default jsonl)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP scenario service with an exact content-keyed cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="listen port (0 = pick a free port)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes; 0 = one per CPU (default)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="max queued+running executions before 429 "
+                            "(default 4 x workers)")
+    serve.add_argument("--timeout-s", type=float, default=300.0,
+                       help="per-request execution timeout (504 beyond it)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="directory for the sealed disk cache tier "
+                            "(default: memory-only)")
+    serve.add_argument("--cache-mem-mb", type=float, default=64.0,
+                       help="memory cache budget in MiB")
+    serve.add_argument("--cache-disk-mb", type=float, default=256.0,
+                       help="disk cache budget in MiB (with --cache-dir)")
+
     quote = sub.add_parser("quote", help="prepaid data-credit quote (§4.4)")
     quote.add_argument("--years", type=float, default=50.0)
     quote.add_argument("--per-hour", type=float, default=1.0)
@@ -445,6 +490,7 @@ COMMANDS = {
     "run": _cmd_run,
     "mc": _cmd_mc,
     "mc-merge": _cmd_mc_merge,
+    "serve": _cmd_serve,
     "quote": _cmd_quote,
     "tco": _cmd_tco,
     "la": _cmd_la,

@@ -30,6 +30,7 @@ from .runner import (
     RunResult,
     ScenarioTask,
     derive_seeds,
+    study_metrics_entries,
 )
 from .shard import (
     SHARD_FORMAT_VERSION,
@@ -70,5 +71,6 @@ __all__ = [
     "resolve_workers",
     "run_shard",
     "shard_indices",
+    "study_metrics_entries",
     "task_fingerprint",
 ]

@@ -195,6 +195,34 @@ class MonteCarloStudy:
         return lines
 
 
+def study_metrics_entries(study: MonteCarloStudy):
+    """The canonical ``(meta, snapshot)`` metrics entries for a study.
+
+    One line per run (``{"run": k, "seed": s}``) plus a merged line
+    whose meta carries the run count, base seed, and — so a serialized
+    study is self-describing even when seeds were poisoned — the
+    **failure count** (:attr:`MonteCarloStudy.failures` used to be
+    invisible in ``--metrics`` output; a served MC response must say
+    "8 of 10 runs" on its face).  The CLI ``mc``/``mc-merge`` writers
+    and the ``/v1/mc`` service endpoint all serialize through here,
+    which is what makes a cache hit byte-comparable to an offline file.
+    """
+    per_run = [
+        ({"run": run.index, "seed": run.seed}, run.metrics)
+        for run in study.runs
+    ]
+    merged = (
+        {
+            "merged": True,
+            "runs": len(study.runs),
+            "base_seed": study.base_seed,
+            "failures": len(study.failures),
+        },
+        study.merged_metrics(),
+    )
+    return per_run, merged
+
+
 @dataclass(frozen=True)
 class ScenarioTask:
     """Picklable task running one fifty-year scenario per seed.

@@ -1,0 +1,239 @@
+"""Content-addressed response cache: memory LRU over sealed disk files.
+
+Determinism makes this cache *perfect*: the request digest fully
+determines the response bytes, so an entry can never be stale — the
+only reasons to evict are capacity.  Two tiers:
+
+* **Memory** — an ``OrderedDict`` LRU bounded by total body bytes.
+  A hit is a dict probe plus a move-to-end; this is the tier that
+  serves thousands of requests per second.
+* **Disk** — one sealed file per digest (``<hex>.rsp``), also
+  LRU+size-bounded.  Sealed means self-verifying, like the shard
+  artifacts: a header line carries the body's SHA-256 and byte count,
+  and a read that fails verification deletes the file and reports a
+  miss — truncation or bit rot can only cost a recomputation, never a
+  wrong response.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed service
+never leaves a half-written entry where the next boot would find it.
+The disk tier is optional (``disk_dir=None`` keeps the cache purely in
+memory, the test default).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+#: Disk entry format version (read == written, like the .mcr artifacts).
+CACHE_FORMAT_VERSION = 1
+
+#: Suffix for sealed response files.
+CACHE_SUFFIX = ".rsp"
+
+
+def body_sha256(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Per-tier accounting, surfaced at ``GET /metrics``."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    memory_evictions: int = 0
+    disk_evictions: int = 0
+    verify_failures: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class ResponseCache:
+    """LRU + size-bounded two-tier cache keyed by request digest."""
+
+    def __init__(
+        self,
+        max_memory_bytes: int = 64 * 1024 * 1024,
+        disk_dir: Optional[str] = None,
+        max_disk_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_memory_bytes < 0 or max_disk_bytes < 0:
+            raise ValueError("cache size bounds must be >= 0")
+        self.max_memory_bytes = int(max_memory_bytes)
+        self.max_disk_bytes = int(max_disk_bytes)
+        self.disk_dir = str(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self._memory_bytes = 0
+        #: digest -> on-disk file size (header + body), LRU order.
+        self._disk: "OrderedDict[str, int]" = OrderedDict()
+        self._disk_bytes = 0
+        if self.disk_dir is not None:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            self._index_disk()
+
+    # -- sizing ---------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        return self._memory_bytes
+
+    @property
+    def disk_bytes(self) -> int:
+        return self._disk_bytes
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The response bytes for ``key``, or None (a true miss).
+
+        Memory first; on a disk hit the entry is verified against its
+        seal and promoted back into the memory tier.
+        """
+        body = self._memory.get(key)
+        if body is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return body
+        if self.disk_dir is not None and key in self._disk:
+            body = self._read_sealed(key)
+            if body is not None:
+                self._disk.move_to_end(key)
+                self.stats.disk_hits += 1
+                self._put_memory(key, body)
+                return body
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, body: bytes) -> None:
+        """Insert a computed response under its digest (idempotent)."""
+        if not isinstance(body, bytes):
+            raise TypeError(
+                f"cache stores response bytes, got {type(body).__name__}"
+            )
+        self.stats.insertions += 1
+        self._put_memory(key, body)
+        if self.disk_dir is not None:
+            self._put_disk(key, body)
+
+    # -- memory tier ----------------------------------------------------
+    def _put_memory(self, key: str, body: bytes) -> None:
+        if len(body) > self.max_memory_bytes:
+            return  # larger than the whole tier: disk-only entry
+        previous = self._memory.pop(key, None)
+        if previous is not None:
+            self._memory_bytes -= len(previous)
+        self._memory[key] = body
+        self._memory_bytes += len(body)
+        while self._memory_bytes > self.max_memory_bytes and self._memory:
+            _evicted, old = self._memory.popitem(last=False)
+            self._memory_bytes -= len(old)
+            self.stats.memory_evictions += 1
+
+    # -- disk tier ------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, key + CACHE_SUFFIX)
+
+    def _index_disk(self) -> None:
+        """Adopt entries left by a previous process.
+
+        Files are indexed in name order (deterministic given a
+        directory's contents); verification happens lazily at read
+        time, so boot cost is one ``listdir``, not a full re-hash.
+        """
+        assert self.disk_dir is not None
+        for name in sorted(os.listdir(self.disk_dir)):
+            if not name.endswith(CACHE_SUFFIX):
+                continue
+            path = os.path.join(self.disk_dir, name)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            self._disk[name[: -len(CACHE_SUFFIX)]] = size
+            self._disk_bytes += size
+
+    def _put_disk(self, key: str, body: bytes) -> None:
+        header = json.dumps(
+            {
+                "kind": "serve-cache",
+                "version": CACHE_FORMAT_VERSION,
+                "key": key,
+                "body_sha256": body_sha256(body),
+                "body_bytes": len(body),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8") + b"\n"
+        total = len(header) + len(body)
+        if total > self.max_disk_bytes:
+            return
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            handle.write(body)
+        os.replace(tmp, path)
+        previous = self._disk.pop(key, None)
+        if previous is not None:
+            self._disk_bytes -= previous
+        self._disk[key] = total
+        self._disk_bytes += total
+        while self._disk_bytes > self.max_disk_bytes and self._disk:
+            evicted, size = self._disk.popitem(last=False)
+            self._disk_bytes -= size
+            self.stats.disk_evictions += 1
+            try:
+                os.remove(self._path(evicted))
+            except OSError:
+                pass
+
+    def _read_sealed(self, key: str) -> Optional[bytes]:
+        """Read and verify one sealed file; purge it on any defect."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                header_line = handle.readline()
+                body = handle.read()
+            header = json.loads(header_line)
+            ok = (
+                header.get("kind") == "serve-cache"
+                and header.get("version") == CACHE_FORMAT_VERSION
+                and header.get("key") == key
+                and header.get("body_bytes") == len(body)
+                and header.get("body_sha256") == body_sha256(body)
+            )
+        except (OSError, ValueError):
+            ok = False
+            body = None
+        if not ok:
+            self.stats.verify_failures += 1
+            size = self._disk.pop(key, None)
+            if size is not None:
+                self._disk_bytes -= size
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        return body
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CACHE_SUFFIX",
+    "CacheStats",
+    "ResponseCache",
+    "body_sha256",
+]
